@@ -1,0 +1,464 @@
+// Command beegfsim is the simulator's CLI: inspect a platform, run a
+// single IOR-style benchmark, ask the stripe-count recommender, or print
+// the Figure-9-style allocation timeline.
+//
+// Usage:
+//
+//	beegfsim topology  [-scenario 1|2]
+//	beegfsim run       [-scenario 1|2] [-nodes N] [-ppn P] [-count K] [-size GiB] [-reps R] [-seed S] [-chooser roundrobin|random|balanced] [-nn]
+//	beegfsim recommend [-scenario 1|2] [-nodes N] [-ppn P] [-chooser ...]
+//	beegfsim timeline  [-scenario 1|2] [-alloc m1,m2] [-size GiB] [-nodes N] [-ppn P]
+//	beegfsim replay    [-scenario 1|2] -trace jobs.json [-pool N] [-seed S]
+//	beegfsim methodology [-scenario 1|2 | -config spec.json] [-reps R]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/beegfs"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ior"
+	"repro/internal/methodology"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "topology":
+		err = topology(args)
+	case "run":
+		err = runCmd(args)
+	case "recommend":
+		err = recommend(args)
+	case "timeline":
+		err = timeline(args)
+	case "replay":
+		err = replay(args)
+	case "methodology":
+		err = methodologyCmd(args)
+	case "-h", "--help", "help":
+		usage()
+	default:
+		usage()
+		err = fmt.Errorf("unknown command %q", cmd)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "beegfsim:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `beegfsim — BeeGFS target-allocation simulator (CLUSTER'22 reproduction)
+
+commands:
+  topology   show the platform's components (Figure 1's architecture)
+  run        execute IOR-style write benchmarks
+  recommend  evaluate every stripe count and recommend the default
+  timeline   per-server write timeline for an allocation (Figure 9)
+  replay     replay a JSON job trace through a FCFS node scheduler
+  methodology run the paper's full evaluation pipeline on a platform
+             (size sweep -> node sweep -> count sweep -> recommendation)`)
+}
+
+func scenarioFlag(fs *flag.FlagSet) *int {
+	return fs.Int("scenario", 1, "PlaFRIM network scenario: 1 (Ethernet) or 2 (Omnipath)")
+}
+
+func configFlag(fs *flag.FlagSet) *string {
+	return fs.String("config", "", "JSON platform spec file (overrides -scenario and -chooser)")
+}
+
+func platformFrom(configPath string, scen int, chooser string) (cluster.Platform, error) {
+	if configPath == "" {
+		return platform(scen, chooser)
+	}
+	data, err := os.ReadFile(configPath)
+	if err != nil {
+		return cluster.Platform{}, err
+	}
+	spec, err := cluster.ParseSpec(data)
+	if err != nil {
+		return cluster.Platform{}, err
+	}
+	return spec.Platform()
+}
+
+func platform(s int, chooser string) (cluster.Platform, error) {
+	var p cluster.Platform
+	switch s {
+	case 1:
+		p = cluster.PlaFRIM(cluster.Scenario1Ethernet)
+	case 2:
+		p = cluster.PlaFRIM(cluster.Scenario2Omnipath)
+	default:
+		return p, fmt.Errorf("scenario must be 1 or 2, got %d", s)
+	}
+	switch chooser {
+	case "", "roundrobin":
+	case "random":
+		p.FS.Chooser = beegfs.RandomChooser{}
+	case "balanced":
+		p.FS.Chooser = &beegfs.BalancedChooser{}
+	case "randominternode":
+		p.FS.Chooser = beegfs.RandomInterNodeChooser{}
+	default:
+		return p, fmt.Errorf("unknown chooser %q", chooser)
+	}
+	return p, nil
+}
+
+func topology(args []string) error {
+	fs := flag.NewFlagSet("topology", flag.ExitOnError)
+	scen := scenarioFlag(fs)
+	config := configFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := platformFrom(*config, *scen, "")
+	if err != nil {
+		return err
+	}
+	dep, err := p.Deploy()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("platform %s\n", p.Name)
+	fmt.Printf("  management service: %d targets registered\n", len(dep.FS.Mgmtd().All()))
+	fmt.Printf("  metadata service:   default stripe count %d, chunk %d KiB\n",
+		p.FS.DefaultPattern.Count, p.FS.DefaultPattern.ChunkSize/1024)
+	fmt.Printf("  chooser:            %s\n", p.FS.Chooser.Name())
+	for _, h := range dep.FS.Storage().Hosts() {
+		ids := make([]string, 0, len(h.Targets()))
+		for _, t := range h.Targets() {
+			ids = append(ids, strconv.Itoa(t.ID))
+		}
+		fmt.Printf("  %s: OSTs %s", h.Name, strings.Join(ids, ","))
+		if nic := dep.FS.ServerNIC(h); nic != nil {
+			fmt.Printf("  (NIC %.0f MiB/s)", nic.Capacity())
+		}
+		fmt.Println()
+	}
+	fmt.Printf("  client links:       %.0f MiB/s per node\n", p.ClientNICCapacity)
+	fmt.Printf("  registration order: ")
+	var order []string
+	for _, t := range dep.FS.Mgmtd().All() {
+		order = append(order, strconv.Itoa(t.ID))
+	}
+	fmt.Println(strings.Join(order, ", "))
+	return nil
+}
+
+func runCmd(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	scen := scenarioFlag(fs)
+	nodes := fs.Int("nodes", 8, "compute nodes")
+	ppn := fs.Int("ppn", 8, "processes per node")
+	count := fs.Int("count", 4, "stripe count")
+	size := fs.Int64("size", 32, "total data size in GiB")
+	reps := fs.Int("reps", 10, "repetitions")
+	seed := fs.Uint64("seed", 1, "seed")
+	chooser := fs.String("chooser", "roundrobin", "target chooser")
+	nn := fs.Bool("nn", false, "file-per-process (N-N) instead of shared file (N-1)")
+	df := fs.Bool("df", false, "print per-target storage usage after the runs (beegfs-ctl --storagepools style)")
+	config := configFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := platformFrom(*config, *scen, *chooser)
+	if err != nil {
+		return err
+	}
+	dep, err := p.Deploy()
+	if err != nil {
+		return err
+	}
+	src := rng.New(*seed)
+	params := ior.Params{
+		Nodes: *nodes, PPN: *ppn,
+		TransferSize: 1 * beegfs.MiB,
+		StripeCount:  *count,
+		SetupMean:    p.SetupMean, SetupCV: p.SetupCV,
+	}.WithTotalSize(*size * beegfs.GiB)
+	if *nn {
+		params.Pattern = ior.FilePerProcess
+	}
+	t := report.NewTable(
+		fmt.Sprintf("IOR %s: %d nodes x %d ppn, count %d, %d GiB, scenario %d, chooser %s",
+			params.Pattern, *nodes, *ppn, *count, *size, *scen, p.FS.Chooser.Name()),
+		"rep", "bandwidth_mibs", "allocation", "targets")
+	var samples []float64
+	for rep := 0; rep < *reps; rep++ {
+		dep.ReJitter(src)
+		res, err := ior.Execute(dep.FS, dep.Nodes(*nodes), params, src)
+		if err != nil {
+			return err
+		}
+		alloc := core.FromPerHostMap(res.PerHost, p.FS.Hosts)
+		ids := make([]string, 0, len(res.TargetIDs))
+		for _, id := range res.TargetIDs {
+			ids = append(ids, strconv.Itoa(id))
+		}
+		if len(ids) > 8 {
+			ids = append(ids[:8], "...")
+		}
+		t.AddRow(rep+1, res.Bandwidth, alloc.String(), strings.Join(ids, ","))
+		samples = append(samples, res.Bandwidth)
+	}
+	fmt.Println(t.String())
+	if s, err := stats.Summarize(samples); err == nil {
+		fmt.Printf("mean %.1f MiB/s, sd %.1f, min %.1f, max %.1f", s.Mean, s.SD, s.Min, s.Max)
+		if stats.Bimodal(samples) {
+			fmt.Printf("  [bimodal — see Figure 6a]")
+		}
+		fmt.Println()
+	}
+	if *df {
+		fmt.Println()
+		printDF(dep.FS)
+	}
+	return nil
+}
+
+// printDF renders per-target storage usage, beegfs-ctl style.
+func printDF(fsys *beegfs.FileSystem) {
+	t := report.NewTable("storage targets", "target", "host", "used_gib", "capacity_gib", "use%")
+	for _, tg := range fsys.Storage().Targets() {
+		capGiB := float64(tg.CapacityBytes()) / float64(beegfs.GiB)
+		usedGiB := float64(tg.Used()) / float64(beegfs.GiB)
+		pct := 0.0
+		if capGiB > 0 {
+			pct = usedGiB / capGiB * 100
+		}
+		t.AddRow(tg.ID, tg.Host().Name, usedGiB, capGiB, pct)
+	}
+	fmt.Println(t.String())
+	fmt.Printf("files on the metadata server: %d\n", fsys.Meta().FileCount())
+}
+
+func recommend(args []string) error {
+	fs := flag.NewFlagSet("recommend", flag.ExitOnError)
+	scen := scenarioFlag(fs)
+	nodes := fs.Int("nodes", 8, "compute nodes of the reference application")
+	ppn := fs.Int("ppn", 8, "processes per node")
+	chooser := fs.String("chooser", "roundrobin", "target chooser")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := platform(*scen, *chooser)
+	if err != nil {
+		return err
+	}
+	m := core.Model{FS: p.FS, ClientNIC: p.ClientNICCapacity}
+	// Host index per registration-order target.
+	dep, err := p.Deploy()
+	if err != nil {
+		return err
+	}
+	hostIdx := map[string]int{}
+	for i, h := range dep.FS.Storage().Hosts() {
+		hostIdx[h.Name] = i
+	}
+	var order []int
+	for _, t := range dep.FS.Mgmtd().All() {
+		order = append(order, hostIdx[t.Host().Name])
+	}
+	rec, err := core.Recommend(m, order, p.FS.Chooser.Name(), p.FS.DefaultPattern.Count, *nodes, *ppn)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(
+		fmt.Sprintf("stripe-count analysis: scenario %d, %s chooser, %d nodes x %d ppn", *scen, p.FS.Chooser.Name(), *nodes, *ppn),
+		"count", "mean_mibs", "worst", "best", "bimodal", "allocations")
+	for _, e := range rec.PerCount {
+		var parts []string
+		for _, a := range e.Allocations {
+			parts = append(parts, fmt.Sprintf("%s p=%.2f %.0f", a.Alloc, a.P, a.Bandwidth))
+		}
+		t.AddRow(e.Count, e.Mean, e.Worst, e.Best, e.Bimodal, strings.Join(parts, "; "))
+	}
+	fmt.Println(t.String())
+	fmt.Printf("recommended default stripe count: %d (current default %d, expected gain %+.0f%%)\n",
+		rec.BestCount, rec.DefaultCount, rec.Gain*100)
+	fmt.Println("paper's recommendation: use the maximum stripe count (lessons 4 and 6).")
+	return nil
+}
+
+func timeline(args []string) error {
+	fs := flag.NewFlagSet("timeline", flag.ExitOnError)
+	scen := scenarioFlag(fs)
+	allocStr := fs.String("alloc", "1,3", "targets per server, comma-separated")
+	size := fs.Int64("size", 32, "volume in GiB")
+	nodes := fs.Int("nodes", 8, "compute nodes")
+	ppn := fs.Int("ppn", 8, "processes per node")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := platform(*scen, "")
+	if err != nil {
+		return err
+	}
+	var perHost []int
+	for _, part := range strings.Split(*allocStr, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return fmt.Errorf("bad -alloc: %w", err)
+		}
+		perHost = append(perHost, v)
+	}
+	alloc := core.NewAllocation(perHost)
+	m := core.Model{FS: p.FS, ClientNIC: p.ClientNICCapacity}
+	tl, err := m.Timeline(alloc, float64(*size)*1024, *nodes, *ppn)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Figure 9 timeline: allocation %s writing %d GiB (scenario %d)", alloc, *size, *scen),
+		"server", "targets", "data_share", "rate_mibs", "finish_s")
+	maxFinish := 0.0
+	for _, h := range tl {
+		t.AddRow(h.Host+1, h.Targets, h.Share, h.Rate, h.Finish)
+		if h.Finish > maxFinish {
+			maxFinish = h.Finish
+		}
+	}
+	fmt.Println(t.String())
+	if maxFinish > 0 {
+		fmt.Printf("aggregate bandwidth: %.1f MiB/s (completion set by the most loaded server)\n",
+			float64(*size)*1024/maxFinish)
+	}
+	return nil
+}
+
+func replay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	scen := scenarioFlag(fs)
+	config := configFlag(fs)
+	tracePath := fs.String("trace", "", "JSON job trace (required; see internal/workload.Job)")
+	pool := fs.Int("pool", 32, "compute-node pool size")
+	seed := fs.Uint64("seed", 1, "seed")
+	example := fs.Bool("example", false, "print an example trace and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *example {
+		data, err := workload.EncodeTrace([]Job{
+			{ID: "climate", Arrival: 0, Nodes: 16, PPN: 8, StripeCount: 8, TotalGiB: 64},
+			{ID: "genomics", Arrival: 5, Nodes: 8, PPN: 8, StripeCount: 4, TotalGiB: 32},
+			{ID: "checkpoint", Arrival: 9, Nodes: 8, PPN: 8, StripeCount: 8, TotalGiB: 32, ReadBack: true},
+			{ID: "viz", Arrival: 12, Nodes: 16, PPN: 8, StripeCount: 8, TotalGiB: 16},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
+	}
+	if *tracePath == "" {
+		return fmt.Errorf("replay needs -trace (or -example)")
+	}
+	data, err := os.ReadFile(*tracePath)
+	if err != nil {
+		return err
+	}
+	jobs, err := workload.ParseTrace(data)
+	if err != nil {
+		return err
+	}
+	p, err := platformFrom(*config, *scen, "")
+	if err != nil {
+		return err
+	}
+	results, err := workload.Replay(p, *pool, jobs, *seed)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(
+		fmt.Sprintf("job trace replay: %d jobs, %d-node pool, %s", len(jobs), *pool, p.Name),
+		"job", "arrival_s", "queued_s", "start_s", "end_s", "write_mibs", "read_mibs", "stretch", "targets")
+	for _, r := range results {
+		readCol := "-"
+		if r.ReadBandwidth > 0 {
+			readCol = fmt.Sprintf("%.0f", r.ReadBandwidth)
+		}
+		ids := make([]string, 0, len(r.TargetIDs))
+		for _, id := range r.TargetIDs {
+			ids = append(ids, strconv.Itoa(id))
+		}
+		t.AddRow(r.Job.ID, r.Job.Arrival, r.Queued, float64(r.Start), float64(r.End),
+			r.Bandwidth, readCol, r.Stretch(), strings.Join(ids, ","))
+	}
+	fmt.Println(t.String())
+	return nil
+}
+
+// Job aliases workload.Job for the -example literal above.
+type Job = workload.Job
+
+func methodologyCmd(args []string) error {
+	fs := flag.NewFlagSet("methodology", flag.ExitOnError)
+	scen := scenarioFlag(fs)
+	config := configFlag(fs)
+	reps := fs.Int("reps", 30, "repetitions per configuration (paper: 100)")
+	maxNodes := fs.Int("maxnodes", 32, "node-sweep upper bound")
+	seed := fs.Uint64("seed", 1, "seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := platformFrom(*config, *scen, "")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("running the paper's evaluation methodology on %s...\n\n", p.Name)
+	rep, err := methodology.Run(p, methodology.Options{
+		Reps: *reps, Seed: *seed, MaxNodes: *maxNodes, FastProtocol: true,
+	})
+	if err != nil {
+		return err
+	}
+	t1 := report.NewTable("stage 1 — data-size sweep (Figure 2)", "size_gib", "mean_mibs", "sd", "ci95")
+	for _, pt := range rep.SizeSweep {
+		t1.AddRow(pt.X, pt.Mean, pt.SD, fmt.Sprintf("[%.0f, %.0f]", pt.CILow, pt.CIHigh))
+	}
+	fmt.Println(t1.String())
+	fmt.Printf("-> chosen total size: %d GiB (paper chose 32)\n\n", rep.ChosenSizeGiB)
+
+	t2 := report.NewTable("stage 2 — node sweep (Figure 4)", "nodes", "mean_mibs", "sd", "ci95")
+	for _, pt := range rep.NodeSweep {
+		t2.AddRow(pt.X, pt.Mean, pt.SD, fmt.Sprintf("[%.0f, %.0f]", pt.CILow, pt.CIHigh))
+	}
+	fmt.Println(t2.String())
+	fmt.Printf("-> plateau at %d nodes (+%.0f%% over one node; lesson 1); stage 3 uses %d nodes\n\n",
+		rep.PlateauNodes, rep.NodeGain*100, rep.Stage3Nodes)
+
+	t3 := report.NewTable("stage 3 — stripe-count sweep (Figures 6/8/10)",
+		"count", "mean_mibs", "worst_class", "best_class", "bimodal", "allocation classes")
+	for _, row := range rep.CountSweep {
+		var cls []string
+		for _, c := range row.Classes {
+			cls = append(cls, fmt.Sprintf("%s n=%d %.0f", c.Alloc, c.N, c.Mean))
+		}
+		t3.AddRow(row.Count, row.Mean, row.Worst, row.Best, row.Bimodal, strings.Join(cls, "; "))
+	}
+	fmt.Println(t3.String())
+	fmt.Printf("-> recommended default stripe count: %d (gain over current default: %+.0f%%)\n",
+		rep.RecommendedCount, rep.GainOverDefault*100)
+	if rep.BalanceGoverned {
+		fmt.Println("-> allocation balance governs performance (lesson 4): prefer a balanced chooser")
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+// Command iorsim is an IOR-lookalike front-end to the simulator: it takes
+// (a subset of) IOR's flags, runs the workload against a simulated
+// platform, and prints an IOR-style summary. It exists so that people who
+// know the original tool can drive the reproduction with familiar muscle
+// memory:
+//
+//	iorsim -b 1g -t 1m -i 10 -scenario 1 -nodes 8 -ppn 8 -count 4
+//	iorsim -F -w -r -b 256m -t 1m -nodes 4 -ppn 4
+//
+// Sizes accept k/m/g suffixes (KiB/MiB/GiB), as in IOR.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/beegfs"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ior"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		api      = flag.String("a", "POSIX", "API (POSIX only, as in the paper)")
+		bStr     = flag.String("b", "1g", "block size per task (accepts k/m/g)")
+		tStr     = flag.String("t", "1m", "transfer size (accepts k/m/g)")
+		segments = flag.Int("s", 1, "segment count")
+		fpp      = flag.Bool("F", false, "file-per-process (N-N) instead of shared file (N-1)")
+		write    = flag.Bool("w", true, "write benchmark")
+		read     = flag.Bool("r", false, "read back after the write phase")
+		reps     = flag.Int("i", 1, "repetitions")
+		out      = flag.String("o", "/iorsim.dat", "output file path")
+		scenario = flag.Int("scenario", 1, "PlaFRIM scenario: 1 (Ethernet) or 2 (Omnipath)")
+		nodes    = flag.Int("nodes", 8, "compute nodes")
+		ppn      = flag.Int("ppn", 8, "processes per node")
+		count    = flag.Int("count", 0, "stripe count (0 = directory default)")
+		seed     = flag.Uint64("seed", 1, "seed")
+	)
+	flag.Parse()
+	if err := run(*api, *bStr, *tStr, *segments, *fpp, *write, *read, *reps, *out, *scenario, *nodes, *ppn, *count, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "iorsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(api, bStr, tStr string, segments int, fpp, write, read bool, reps int, out string, scenario, nodes, ppn, count int, seed uint64) error {
+	if !strings.EqualFold(api, "POSIX") {
+		return fmt.Errorf("only -a POSIX is supported (the paper's configuration)")
+	}
+	if !write {
+		return fmt.Errorf("-w=false: nothing to do (reads need written data first; combine -w -r)")
+	}
+	block, err := parseSize(bStr)
+	if err != nil {
+		return fmt.Errorf("-b: %w", err)
+	}
+	transfer, err := parseSize(tStr)
+	if err != nil {
+		return fmt.Errorf("-t: %w", err)
+	}
+	var scen cluster.Scenario
+	switch scenario {
+	case 1:
+		scen = cluster.Scenario1Ethernet
+	case 2:
+		scen = cluster.Scenario2Omnipath
+	default:
+		return fmt.Errorf("-scenario must be 1 or 2")
+	}
+	platform := cluster.PlaFRIM(scen)
+	dep, err := platform.Deploy()
+	if err != nil {
+		return err
+	}
+	params := ior.Params{
+		Nodes: nodes, PPN: ppn,
+		BlockSize:    block,
+		TransferSize: transfer,
+		Segments:     segments,
+		StripeCount:  count,
+		Path:         out,
+		ReadBack:     read,
+		SetupMean:    platform.SetupMean,
+		SetupCV:      platform.SetupCV,
+	}
+	if fpp {
+		params.Pattern = ior.FilePerProcess
+	}
+	if err := params.Validate(); err != nil {
+		return err
+	}
+
+	fmt.Printf("iorsim — simulated IOR (paper: Boito/Pallez/Teylo, CLUSTER'22)\n")
+	fmt.Printf("platform    : %s\n", platform.Name)
+	fmt.Printf("api         : POSIX, access: %s\n", params.Pattern)
+	fmt.Printf("clients     : %d nodes x %d ppn = %d tasks\n", nodes, ppn, nodes*ppn)
+	fmt.Printf("block/xfer  : %s / %s, segments: %d\n", bStr, tStr, segments)
+	fmt.Printf("aggregate   : %.1f GiB\n", float64(params.TotalBytes())/float64(beegfs.GiB))
+	fmt.Printf("repetitions : %d\n\n", reps)
+
+	src := rng.New(seed)
+	var writes, reads []float64
+	fmt.Printf("%-4s  %12s  %12s  %-8s\n", "rep", "write(MiB/s)", "read(MiB/s)", "alloc")
+	for rep := 0; rep < reps; rep++ {
+		dep.ReJitter(src)
+		res, err := ior.Execute(dep.FS, dep.Nodes(nodes), params, src)
+		if err != nil {
+			return err
+		}
+		writes = append(writes, res.Bandwidth)
+		alloc := core.FromPerHostMap(res.PerHost, platform.FS.Hosts)
+		readCol := "-"
+		if read {
+			reads = append(reads, res.ReadBandwidth)
+			readCol = fmt.Sprintf("%.2f", res.ReadBandwidth)
+		}
+		fmt.Printf("%-4d  %12.2f  %12s  %-8s\n", rep+1, res.Bandwidth, readCol, alloc)
+	}
+	fmt.Println()
+	printSummary("write", writes)
+	if read {
+		printSummary("read", reads)
+	}
+	return nil
+}
+
+func printSummary(op string, samples []float64) {
+	s, err := stats.Summarize(samples)
+	if err != nil {
+		return
+	}
+	fmt.Printf("Max %-5s: %10.2f MiB/sec\n", op, s.Max)
+	fmt.Printf("Min %-5s: %10.2f MiB/sec\n", op, s.Min)
+	fmt.Printf("Mean %-4s: %10.2f MiB/sec (sd %.2f)\n", op, s.Mean, s.SD)
+}
+
+func parseSize(s string) (int64, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	if s == "" {
+		return 0, fmt.Errorf("empty size")
+	}
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'k':
+		mult, s = beegfs.KiB, s[:len(s)-1]
+	case 'm':
+		mult, s = beegfs.MiB, s[:len(s)-1]
+	case 'g':
+		mult, s = beegfs.GiB, s[:len(s)-1]
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	if v <= 0 {
+		return 0, fmt.Errorf("size must be positive")
+	}
+	return v * mult, nil
+}

@@ -1,0 +1,209 @@
+package beegfs
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/storagesim"
+)
+
+// TargetChooser selects which storage targets a new file is striped over.
+// The paper shows the chooser is as important as the stripe count itself
+// (§IV-C1): PlaFRIM's round-robin chooser makes a stripe count of 4 always
+// land on a (1,3) allocation, capping bandwidth below 50% of peak in the
+// network-limited scenario.
+type TargetChooser interface {
+	// Choose returns k targets from the online list, in stripe order.
+	// src supplies randomness for stochastic choosers.
+	Choose(k int, online []*storagesim.Target, src *rng.Source) ([]*storagesim.Target, error)
+	// Name identifies the heuristic ("roundrobin", "random", "balanced").
+	Name() string
+}
+
+func checkChoice(k, online int) error {
+	if k <= 0 {
+		return fmt.Errorf("beegfs: stripe count must be positive, got %d", k)
+	}
+	if k > online {
+		return fmt.Errorf("beegfs: stripe count %d exceeds %d online targets", k, online)
+	}
+	return nil
+}
+
+// RoundRobinChooser reproduces the deterministic heuristic deployed on
+// PlaFRIM: targets are kept in a fixed registration order and each new file
+// takes the next k targets from a rotating cursor that advances by k.
+//
+// With PlaFRIM's registration order (101, 201, 202, 203, 204, 102, 103,
+// 104) and stripe count 4, the only two allocations ever produced are
+// (101, 201, 202, 203) and (204, 102, 103, 104) — both (1,3) in the
+// paper's (min,max) notation, exactly as reported in §IV-C1.
+type RoundRobinChooser struct {
+	cursor int
+}
+
+// Name implements TargetChooser.
+func (c *RoundRobinChooser) Name() string { return "roundrobin" }
+
+// Choose implements TargetChooser.
+func (c *RoundRobinChooser) Choose(k int, online []*storagesim.Target, _ *rng.Source) ([]*storagesim.Target, error) {
+	if err := checkChoice(k, len(online)); err != nil {
+		return nil, err
+	}
+	out := make([]*storagesim.Target, k)
+	for i := 0; i < k; i++ {
+		out[i] = online[(c.cursor+i)%len(online)]
+	}
+	c.cursor = (c.cursor + k) % len(online)
+	return out, nil
+}
+
+// Reset rewinds the cursor to the start of the registration order.
+func (c *RoundRobinChooser) Reset() { c.cursor = 0 }
+
+// RandomChooser is BeeGFS' default: a uniformly random k-subset of the
+// online targets. The paper notes (§IV-C1) that with this chooser a stripe
+// count of 4 *can* produce the balanced (2,2) allocation — but with high
+// variability, "the best case being as likely as the worst case".
+type RandomChooser struct{}
+
+// Name implements TargetChooser.
+func (RandomChooser) Name() string { return "random" }
+
+// Choose implements TargetChooser.
+func (RandomChooser) Choose(k int, online []*storagesim.Target, src *rng.Source) ([]*storagesim.Target, error) {
+	if err := checkChoice(k, len(online)); err != nil {
+		return nil, err
+	}
+	if src == nil {
+		return nil, fmt.Errorf("beegfs: random chooser needs a randomness source")
+	}
+	idx := src.Perm(len(online))[:k]
+	out := make([]*storagesim.Target, k)
+	for i, j := range idx {
+		out[i] = online[j]
+	}
+	return out, nil
+}
+
+// BalancedChooser implements the heuristic the paper recommends in lesson
+// 4: pick the same number of targets from every storage server (as equal
+// as k allows), rotating within each server so load spreads over devices.
+// For odd remainders the extra targets go to the least-recently-used
+// servers first.
+type BalancedChooser struct {
+	rotation map[*storagesim.Host]int
+	hostTurn int
+}
+
+// Name implements TargetChooser.
+func (c *BalancedChooser) Name() string { return "balanced" }
+
+// Choose implements TargetChooser.
+func (c *BalancedChooser) Choose(k int, online []*storagesim.Target, _ *rng.Source) ([]*storagesim.Target, error) {
+	if err := checkChoice(k, len(online)); err != nil {
+		return nil, err
+	}
+	if c.rotation == nil {
+		c.rotation = make(map[*storagesim.Host]int)
+	}
+	// Group online targets per host, preserving order.
+	var hosts []*storagesim.Host
+	perHost := make(map[*storagesim.Host][]*storagesim.Target)
+	for _, t := range online {
+		if _, ok := perHost[t.Host()]; !ok {
+			hosts = append(hosts, t.Host())
+		}
+		perHost[t.Host()] = append(perHost[t.Host()], t)
+	}
+	// Distribute k as evenly as possible, assigning remainders starting at
+	// a rotating host so repeated odd counts alternate the heavier server.
+	counts := make([]int, len(hosts))
+	base := k / len(hosts)
+	rem := k % len(hosts)
+	for i := range hosts {
+		counts[i] = base
+	}
+	for i := 0; i < rem; i++ {
+		counts[(c.hostTurn+i)%len(hosts)]++
+	}
+	c.hostTurn = (c.hostTurn + rem) % len(hosts)
+	// Some hosts may have fewer online targets than their quota; spill the
+	// excess to others.
+	spill := 0
+	for i, h := range hosts {
+		if counts[i] > len(perHost[h]) {
+			spill += counts[i] - len(perHost[h])
+			counts[i] = len(perHost[h])
+		}
+	}
+	for i, h := range hosts {
+		for spill > 0 && counts[i] < len(perHost[h]) {
+			counts[i]++
+			spill--
+		}
+	}
+	var out []*storagesim.Target
+	for i, h := range hosts {
+		list := perHost[h]
+		start := c.rotation[h]
+		for j := 0; j < counts[i]; j++ {
+			out = append(out, list[(start+j)%len(list)])
+		}
+		c.rotation[h] = (start + counts[i]) % len(list)
+	}
+	return out, nil
+}
+
+// RandomInterNodeChooser implements BeeGFS's "randominternode" target
+// choice policy: targets are picked randomly but successive picks cycle
+// through distinct storage servers, so a file's targets spread across
+// hosts as evenly as the count allows. On PlaFRIM it turns stripe count 4
+// into a guaranteed (2,2) — the balanced allocation the deterministic
+// round-robin never produces — while keeping per-target load randomized.
+type RandomInterNodeChooser struct{}
+
+// Name implements TargetChooser.
+func (RandomInterNodeChooser) Name() string { return "randominternode" }
+
+// Choose implements TargetChooser.
+func (RandomInterNodeChooser) Choose(k int, online []*storagesim.Target, src *rng.Source) ([]*storagesim.Target, error) {
+	if err := checkChoice(k, len(online)); err != nil {
+		return nil, err
+	}
+	if src == nil {
+		return nil, fmt.Errorf("beegfs: randominternode chooser needs a randomness source")
+	}
+	// Bucket the online targets per host and shuffle each bucket.
+	var hosts []*storagesim.Host
+	perHost := map[*storagesim.Host][]*storagesim.Target{}
+	for _, t := range online {
+		if _, ok := perHost[t.Host()]; !ok {
+			hosts = append(hosts, t.Host())
+		}
+		perHost[t.Host()] = append(perHost[t.Host()], t)
+	}
+	for _, h := range hosts {
+		list := perHost[h]
+		src.Shuffle(len(list), func(i, j int) { list[i], list[j] = list[j], list[i] })
+	}
+	// Visit hosts in random order, one target per host per round.
+	src.Shuffle(len(hosts), func(i, j int) { hosts[i], hosts[j] = hosts[j], hosts[i] })
+	out := make([]*storagesim.Target, 0, k)
+	for round := 0; len(out) < k; round++ {
+		progressed := false
+		for _, h := range hosts {
+			if len(out) == k {
+				break
+			}
+			if round < len(perHost[h]) {
+				out = append(out, perHost[h][round])
+				progressed = true
+			}
+		}
+		if !progressed {
+			return nil, fmt.Errorf("beegfs: randominternode exhausted targets at %d of %d", len(out), k)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,413 @@
+package beegfs
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/simkernel"
+	"repro/internal/simnet"
+	"repro/internal/storagesim"
+)
+
+func plafrimTargets(t *testing.T) (*storagesim.System, []*storagesim.Target) {
+	t.Helper()
+	sim := simkernel.New()
+	net := simnet.New(sim)
+	sys, err := storagesim.NewSystem(net, storagesim.PlaFRIMConfig(), 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, err := PlaFRIMOrder(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, order
+}
+
+// allocation returns (min, max) of targets per host — the paper's
+// notation, computed locally to keep this package free of internal/core.
+func allocation(targets []*storagesim.Target) (int, int) {
+	perHost := make(map[*storagesim.Host]int)
+	for _, t := range targets {
+		perHost[t.Host()]++
+	}
+	min, max := 0, 0
+	first := true
+	for _, n := range perHost {
+		if first {
+			min, max = n, n
+			first = false
+			continue
+		}
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if len(perHost) == 1 {
+		// Only one host used: the other's count is 0.
+		min = 0
+	}
+	return min, max
+}
+
+func ids(targets []*storagesim.Target) []int {
+	out := make([]int, len(targets))
+	for i, t := range targets {
+		out[i] = t.ID
+	}
+	return out
+}
+
+func TestPlaFRIMOrder(t *testing.T) {
+	_, order := plafrimTargets(t)
+	want := []int{101, 201, 202, 203, 204, 102, 103, 104}
+	got := ids(order)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+// §IV-C1: "The round-robin heuristic used in PlaFRIM always makes a (1,3)
+// allocation: (101, 201, 202, 203) or (204, 102, 103, 104)."
+func TestRoundRobinCount4PaperAllocations(t *testing.T) {
+	_, order := plafrimTargets(t)
+	rr := &RoundRobinChooser{}
+	seen := make(map[string]int)
+	for i := 0; i < 100; i++ {
+		chosen, err := rr.Choose(4, order, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mn, mx := allocation(chosen)
+		if mn != 1 || mx != 3 {
+			t.Fatalf("iteration %d: allocation (%d,%d), want (1,3); targets %v", i, mn, mx, ids(chosen))
+		}
+		key := ""
+		for _, id := range ids(chosen) {
+			key += string(rune(id))
+		}
+		seen[key]++
+	}
+	if len(seen) != 2 {
+		t.Fatalf("round-robin count 4 produced %d distinct allocations, want exactly 2", len(seen))
+	}
+}
+
+// §IV-C1 bimodality: counts 2, 3, 5, 6 mix two allocation classes; counts
+// 1, 4, 7, 8 always give the same class.
+func TestRoundRobinAllocationClassesPerCount(t *testing.T) {
+	_, order := plafrimTargets(t)
+	wantClasses := map[int]int{1: 1, 2: 2, 3: 2, 4: 1, 5: 2, 6: 2, 7: 1, 8: 1}
+	for count := 1; count <= 8; count++ {
+		rr := &RoundRobinChooser{}
+		classes := make(map[[2]int]bool)
+		for i := 0; i < 200; i++ {
+			chosen, err := rr.Choose(count, order, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mn, mx := allocation(chosen)
+			classes[[2]int{mn, mx}] = true
+		}
+		if len(classes) != wantClasses[count] {
+			t.Errorf("count %d: %d allocation classes %v, want %d", count, len(classes), classes, wantClasses[count])
+		}
+	}
+}
+
+// Specific class membership per the paper: count 6 mixes (2,4) and (3,3);
+// count 2 mixes (1,1) and (0,2); count 7 is always (3,4); count 8 (4,4).
+func TestRoundRobinSpecificClasses(t *testing.T) {
+	_, order := plafrimTargets(t)
+	collect := func(count int) map[[2]int]bool {
+		rr := &RoundRobinChooser{}
+		classes := make(map[[2]int]bool)
+		for i := 0; i < 200; i++ {
+			chosen, _ := rr.Choose(count, order, nil)
+			mn, mx := allocation(chosen)
+			classes[[2]int{mn, mx}] = true
+		}
+		return classes
+	}
+	c2 := collect(2)
+	if !c2[[2]int{1, 1}] || !c2[[2]int{0, 2}] {
+		t.Fatalf("count 2 classes = %v, want {(1,1),(0,2)}", c2)
+	}
+	c6 := collect(6)
+	if !c6[[2]int{2, 4}] || !c6[[2]int{3, 3}] {
+		t.Fatalf("count 6 classes = %v, want {(2,4),(3,3)}", c6)
+	}
+	c7 := collect(7)
+	if !c7[[2]int{3, 4}] || len(c7) != 1 {
+		t.Fatalf("count 7 classes = %v, want {(3,4)}", c7)
+	}
+	c8 := collect(8)
+	if !c8[[2]int{4, 4}] || len(c8) != 1 {
+		t.Fatalf("count 8 classes = %v, want {(4,4)}", c8)
+	}
+}
+
+func TestRoundRobinReset(t *testing.T) {
+	_, order := plafrimTargets(t)
+	rr := &RoundRobinChooser{}
+	first, _ := rr.Choose(4, order, nil)
+	rr.Reset()
+	again, _ := rr.Choose(4, order, nil)
+	for i := range first {
+		if first[i] != again[i] {
+			t.Fatal("Reset did not rewind the cursor")
+		}
+	}
+}
+
+func TestChooserErrors(t *testing.T) {
+	_, order := plafrimTargets(t)
+	rr := &RoundRobinChooser{}
+	if _, err := rr.Choose(0, order, nil); err == nil {
+		t.Fatal("count 0 accepted")
+	}
+	if _, err := rr.Choose(9, order, nil); err == nil {
+		t.Fatal("count > targets accepted")
+	}
+	if _, err := (RandomChooser{}).Choose(4, order, nil); err == nil {
+		t.Fatal("random chooser without source accepted")
+	}
+}
+
+func TestRandomChooserIsValidSubset(t *testing.T) {
+	_, order := plafrimTargets(t)
+	src := rng.New(1)
+	for i := 0; i < 100; i++ {
+		chosen, err := (RandomChooser{}).Choose(4, order, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(chosen) != 4 {
+			t.Fatalf("len = %d", len(chosen))
+		}
+		seen := make(map[int]bool)
+		for _, tg := range chosen {
+			if seen[tg.ID] {
+				t.Fatalf("duplicate target %d", tg.ID)
+			}
+			seen[tg.ID] = true
+		}
+	}
+}
+
+// §IV-C1: with random selection at count 4 "all other allocations would be
+// possible, including the balanced (2,2)".
+func TestRandomChooserProducesBalancedCount4(t *testing.T) {
+	_, order := plafrimTargets(t)
+	src := rng.New(2)
+	classes := make(map[[2]int]int)
+	for i := 0; i < 500; i++ {
+		chosen, err := (RandomChooser{}).Choose(4, order, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mn, mx := allocation(chosen)
+		classes[[2]int{mn, mx}]++
+	}
+	if classes[[2]int{2, 2}] == 0 {
+		t.Fatalf("random chooser never produced (2,2) in 500 draws: %v", classes)
+	}
+	if classes[[2]int{1, 3}] == 0 {
+		t.Fatalf("random chooser never produced (1,3): %v", classes)
+	}
+	// Hypergeometric: P(2,2) = C(4,2)^2/C(8,4) = 36/70; P(1,3)+P(3,1) = 32/70.
+	if classes[[2]int{2, 2}] < 180 || classes[[2]int{2, 2}] > 330 {
+		t.Fatalf("(2,2) frequency %d implausible for hypergeometric 36/70", classes[[2]int{2, 2}])
+	}
+}
+
+func TestBalancedChooserAlwaysBalanced(t *testing.T) {
+	_, order := plafrimTargets(t)
+	bc := &BalancedChooser{}
+	for _, count := range []int{2, 4, 6, 8} {
+		for i := 0; i < 20; i++ {
+			chosen, err := bc.Choose(count, order, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mn, mx := allocation(chosen)
+			if mn != count/2 || mx != count/2 {
+				t.Fatalf("count %d draw %d: allocation (%d,%d), want (%d,%d)", count, i, mn, mx, count/2, count/2)
+			}
+		}
+	}
+}
+
+func TestBalancedChooserOddCountsNearBalanced(t *testing.T) {
+	_, order := plafrimTargets(t)
+	bc := &BalancedChooser{}
+	for _, count := range []int{1, 3, 5, 7} {
+		chosen, err := bc.Choose(count, order, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mn, mx := allocation(chosen)
+		if mx-mn > 1 {
+			t.Fatalf("count %d: allocation (%d,%d) not near-balanced", count, mn, mx)
+		}
+	}
+}
+
+func TestBalancedChooserRotatesWithinHost(t *testing.T) {
+	_, order := plafrimTargets(t)
+	bc := &BalancedChooser{}
+	a, _ := bc.Choose(2, order, nil)
+	b, _ := bc.Choose(2, order, nil)
+	if a[0] == b[0] && a[1] == b[1] {
+		t.Fatal("balanced chooser reused the same targets back to back")
+	}
+}
+
+func TestBalancedChooserAlternatesHeavyHostForOddCounts(t *testing.T) {
+	_, order := plafrimTargets(t)
+	bc := &BalancedChooser{}
+	heavy := make(map[string]int)
+	for i := 0; i < 10; i++ {
+		chosen, err := bc.Choose(3, order, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perHost := make(map[*storagesim.Host]int)
+		for _, tg := range chosen {
+			perHost[tg.Host()]++
+		}
+		for h, n := range perHost {
+			if n == 2 {
+				heavy[h.Name]++
+			}
+		}
+	}
+	if len(heavy) != 2 {
+		t.Fatalf("odd-count remainder always lands on the same host: %v", heavy)
+	}
+}
+
+func TestBalancedChooserOnLargerSystem(t *testing.T) {
+	sim := simkernel.New()
+	net := simnet.New(sim)
+	sys, err := storagesim.NewSystem(net, storagesim.PlaFRIMConfig(), 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := InterleavedOrder(sys)
+	bc := &BalancedChooser{}
+	chosen, err := bc.Choose(8, order, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perHost := make(map[*storagesim.Host]int)
+	for _, tg := range chosen {
+		perHost[tg.Host()]++
+	}
+	for h, n := range perHost {
+		if n != 2 {
+			t.Fatalf("host %s got %d targets, want 2", h.Name, n)
+		}
+	}
+}
+
+func TestBalancedChooserSpillWhenHostExhausted(t *testing.T) {
+	sim := simkernel.New()
+	net := simnet.New(sim)
+	sys, err := storagesim.NewSystem(net, storagesim.PlaFRIMConfig(), 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only 1 target of host 1 is online, plus all 4 of host 2.
+	var online []*storagesim.Target
+	online = append(online, sys.TargetByID(101))
+	for _, id := range []int{201, 202, 203, 204} {
+		online = append(online, sys.TargetByID(id))
+	}
+	bc := &BalancedChooser{}
+	chosen, err := bc.Choose(5, order5(online), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chosen) != 5 {
+		t.Fatalf("len = %d, want 5", len(chosen))
+	}
+	seen := make(map[int]bool)
+	for _, tg := range chosen {
+		if seen[tg.ID] {
+			t.Fatalf("duplicate target %d after spill", tg.ID)
+		}
+		seen[tg.ID] = true
+	}
+}
+
+func order5(ts []*storagesim.Target) []*storagesim.Target { return ts }
+
+func TestRandomInterNodeBalanced(t *testing.T) {
+	_, order := plafrimTargets(t)
+	src := rng.New(77)
+	ch := RandomInterNodeChooser{}
+	distinctSets := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		chosen, err := ch.Choose(4, order, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mn, mx := allocation(chosen)
+		if mn != 2 || mx != 2 {
+			t.Fatalf("randominternode count 4 gave (%d,%d), want (2,2)", mn, mx)
+		}
+		key := ""
+		for _, id := range ids(chosen) {
+			key += string(rune(id))
+		}
+		distinctSets[key] = true
+	}
+	// Randomized within hosts: many distinct target sets appear.
+	if len(distinctSets) < 10 {
+		t.Fatalf("only %d distinct target sets in 200 draws; expected randomized selection", len(distinctSets))
+	}
+}
+
+func TestRandomInterNodeOddCounts(t *testing.T) {
+	_, order := plafrimTargets(t)
+	src := rng.New(78)
+	ch := RandomInterNodeChooser{}
+	for _, k := range []int{1, 3, 5, 7} {
+		chosen, err := ch.Choose(k, order, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mn, mx := allocation(chosen)
+		if mx-mn > 1 {
+			t.Fatalf("count %d: allocation (%d,%d) not near-balanced", k, mn, mx)
+		}
+	}
+}
+
+func TestRandomInterNodeFullSet(t *testing.T) {
+	_, order := plafrimTargets(t)
+	chosen, err := RandomInterNodeChooser{}.Choose(8, order, rng.New(79))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, tg := range chosen {
+		if seen[tg.ID] {
+			t.Fatalf("duplicate target %d", tg.ID)
+		}
+		seen[tg.ID] = true
+	}
+}
+
+func TestRandomInterNodeNeedsSource(t *testing.T) {
+	_, order := plafrimTargets(t)
+	if _, err := (RandomInterNodeChooser{}).Choose(2, order, nil); err == nil {
+		t.Fatal("nil source accepted")
+	}
+}

@@ -1,0 +1,640 @@
+// Package beegfs is a behavioural model of the BeeGFS parallel file
+// system: management, metadata and storage services, striping, target
+// selection heuristics and the client module, wired onto the flow-level
+// network of package simnet and the device models of package storagesim.
+//
+// The model captures everything the paper's evaluation depends on —
+// per-directory stripe configuration, the rotating round-robin target
+// chooser that shapes Figure 6a, the client-side parallelism limits behind
+// lessons 1–3 — while abstracting byte-level wire protocols into fluid
+// flows.
+package beegfs
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/simkernel"
+	"repro/internal/simnet"
+	"repro/internal/storagesim"
+)
+
+// Config assembles a BeeGFS deployment.
+type Config struct {
+	// Storage is the device model.
+	Storage storagesim.Config
+	// Hosts and TargetsPerHost shape the storage side (PlaFRIM: 2 and 4).
+	Hosts          int
+	TargetsPerHost int
+	// ServerNICCapacity is each storage host's network link capacity in
+	// MiB/s (after protocol efficiency). Zero means the network is not a
+	// bottleneck (no NIC resource is created) — scenario 2's Omnipath is
+	// modelled with a high but finite value.
+	ServerNICCapacity float64
+	// DefaultPattern is the root directory's stripe configuration.
+	DefaultPattern StripePattern
+	// Chooser is the system-wide target selection heuristic.
+	Chooser TargetChooser
+	// CreateLatency and OpenLatency are metadata costs in seconds.
+	CreateLatency float64
+	OpenLatency   float64
+	// MDSOpRate is the metadata server's sustained throughput in
+	// operations per second (0 = unlimited); see MetaService.ReserveOps.
+	MDSOpRate float64
+	// TransferLatency is the per-transfer request overhead in seconds,
+	// paid serially by each process (drives Figure 2's small-size
+	// penalty together with CreateLatency).
+	TransferLatency float64
+	// PpnSat is the number of processes per node beyond which additional
+	// processes add no storage concurrency (the client module serializes;
+	// lesson 3). Zero means no limit.
+	PpnSat int
+	// IntraNodePenalty shrinks each process's concurrency contribution by
+	// this fraction per doubling of ppn beyond PpnSat (the "slight
+	// degradation" of Figure 5b). Zero disables it.
+	IntraNodePenalty float64
+	// ClientA and ClientGamma bound the deployment's aggregate
+	// client-side throughput to ClientA * N^ClientGamma MiB/s, where N is
+	// the number of compute nodes with in-flight writes — the
+	// client/TCP-stack and server-connection scaling ramp behind Figures
+	// 4a/4b and the count-ordered plateaus of Figure 11. The bound is a
+	// single shared resource: concurrent applications split it, which is
+	// why their aggregate matches an equivalent single application
+	// (Figure 12). ClientA = 0 disables the bound.
+	ClientA     float64
+	ClientGamma float64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Storage.Validate(); err != nil {
+		return err
+	}
+	if c.Hosts <= 0 || c.TargetsPerHost <= 0 {
+		return fmt.Errorf("beegfs: need positive Hosts and TargetsPerHost")
+	}
+	if c.ServerNICCapacity < 0 {
+		return fmt.Errorf("beegfs: negative ServerNICCapacity")
+	}
+	if err := c.DefaultPattern.Validate(); err != nil {
+		return err
+	}
+	if c.Chooser == nil {
+		return fmt.Errorf("beegfs: nil Chooser")
+	}
+	if c.CreateLatency < 0 || c.OpenLatency < 0 || c.TransferLatency < 0 {
+		return fmt.Errorf("beegfs: negative latency")
+	}
+	if c.MDSOpRate < 0 {
+		return fmt.Errorf("beegfs: negative MDSOpRate")
+	}
+	if c.PpnSat < 0 || c.IntraNodePenalty < 0 || c.IntraNodePenalty >= 1 {
+		return fmt.Errorf("beegfs: bad intra-node contention parameters")
+	}
+	if c.ClientA < 0 || c.ClientGamma < 0 || c.ClientGamma > 1 {
+		return fmt.Errorf("beegfs: bad client ramp parameters")
+	}
+	return nil
+}
+
+// FileSystem is a running BeeGFS deployment bound to a simulation.
+type FileSystem struct {
+	cfg     Config
+	sim     *simkernel.Simulation
+	net     *simnet.Network
+	storage *storagesim.System
+	mgmtd   *Mgmtd
+	meta    *MetaService
+	// serverNIC maps each storage host to its network link resource
+	// (nil when ServerNICCapacity is 0).
+	serverNIC map[*storagesim.Host]*simnet.Resource
+	// clientRamp is the shared client-stack resource (nil when ClientA
+	// is 0); its capacity follows ClientA * activeClients^ClientGamma.
+	clientRamp      *simnet.Resource
+	activeClientOps map[*Client]int
+	activeClients   int
+	// mirrorCursor rotates buddy-group selection (CreateMirrored).
+	mirrorCursor int
+}
+
+// New builds a deployment. The target registration order is PlaFRIM's when
+// the shape is 2 hosts × 4 targets, and host-interleaved otherwise.
+func New(sim *simkernel.Simulation, net *simnet.Network, cfg Config) (*FileSystem, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sys, err := storagesim.NewSystem(net, cfg.Storage, cfg.Hosts, cfg.TargetsPerHost)
+	if err != nil {
+		return nil, err
+	}
+	var order []*storagesim.Target
+	if cfg.Hosts == 2 && cfg.TargetsPerHost == 4 {
+		order, err = PlaFRIMOrder(sys)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		order = InterleavedOrder(sys)
+	}
+	mgmtd, err := NewMgmtd(order)
+	if err != nil {
+		return nil, err
+	}
+	meta, err := NewMetaService(cfg.DefaultPattern)
+	if err != nil {
+		return nil, err
+	}
+	meta.CreateLatency = cfg.CreateLatency
+	meta.OpenLatency = cfg.OpenLatency
+	meta.OpRate = cfg.MDSOpRate
+	fs := &FileSystem{
+		cfg:       cfg,
+		sim:       sim,
+		net:       net,
+		storage:   sys,
+		mgmtd:     mgmtd,
+		meta:      meta,
+		serverNIC: make(map[*storagesim.Host]*simnet.Resource),
+	}
+	if cfg.ServerNICCapacity > 0 {
+		for _, h := range sys.Hosts() {
+			fs.serverNIC[h] = net.AddResource(h.Name+"/nic", cfg.ServerNICCapacity)
+		}
+	}
+	if cfg.ClientA > 0 {
+		fs.clientRamp = net.AddResource("clientstack", cfg.ClientA)
+		fs.activeClientOps = make(map[*Client]int)
+	}
+	return fs, nil
+}
+
+// noteClientOps adjusts a client's in-flight write count and updates the
+// shared client-stack capacity when the number of active nodes changes.
+func (fs *FileSystem) noteClientOps(c *Client, delta int) {
+	if fs.clientRamp == nil {
+		return
+	}
+	before := fs.activeClientOps[c]
+	after := before + delta
+	if after < 0 {
+		panic("beegfs: client op accounting went negative")
+	}
+	if after == 0 {
+		delete(fs.activeClientOps, c)
+	} else {
+		fs.activeClientOps[c] = after
+	}
+	switch {
+	case before == 0 && after > 0:
+		fs.activeClients++
+	case before > 0 && after == 0:
+		fs.activeClients--
+	default:
+		return
+	}
+	n := fs.activeClients
+	if n < 1 {
+		n = 1 // idle default so a flow arriving this instant sees ClientA
+	}
+	fs.net.SetCapacity(fs.clientRamp, fs.cfg.ClientA*math.Pow(float64(n), fs.cfg.ClientGamma))
+}
+
+// ClientRamp returns the shared client-stack resource (nil when the ramp
+// is disabled).
+func (fs *FileSystem) ClientRamp() *simnet.Resource { return fs.clientRamp }
+
+// ActiveClients returns the number of compute nodes with in-flight
+// writes.
+func (fs *FileSystem) ActiveClients() int { return fs.activeClients }
+
+// Config returns the deployment's configuration.
+func (fs *FileSystem) Config() Config { return fs.cfg }
+
+// Storage returns the storage subsystem.
+func (fs *FileSystem) Storage() *storagesim.System { return fs.storage }
+
+// Mgmtd returns the management service.
+func (fs *FileSystem) Mgmtd() *Mgmtd { return fs.mgmtd }
+
+// Meta returns the metadata service.
+func (fs *FileSystem) Meta() *MetaService { return fs.meta }
+
+// Network returns the underlying flow network.
+func (fs *FileSystem) Network() *simnet.Network { return fs.net }
+
+// Sim returns the simulation clock.
+func (fs *FileSystem) Sim() *simkernel.Simulation { return fs.sim }
+
+// ServerNIC returns host's network link resource, or nil when the network
+// side is unconstrained.
+func (fs *FileSystem) ServerNIC(h *storagesim.Host) *simnet.Resource { return fs.serverNIC[h] }
+
+// Client is a compute node's mount of the file system: it owns the node's
+// NIC resource.
+type Client struct {
+	Name string
+	fs   *FileSystem
+	nic  *simnet.Resource
+}
+
+// NewClient mounts the file system on a compute node with the given NIC
+// capacity in MiB/s (0 = unconstrained).
+func (fs *FileSystem) NewClient(name string, nicCapacity float64) *Client {
+	c := &Client{Name: name, fs: fs}
+	if nicCapacity > 0 {
+		c.nic = fs.net.AddResource(name+"/nic", nicCapacity)
+	}
+	return c
+}
+
+// NIC returns the client's network link resource (nil if unconstrained).
+func (c *Client) NIC() *simnet.Resource { return c.nic }
+
+// Create creates a file at path. The stripe count comes from the pattern
+// configured for the containing directory (unless overridden via
+// CreateWithPattern); targets are chosen by the system chooser. src
+// supplies randomness for stochastic choosers.
+func (fs *FileSystem) Create(path string, src *rng.Source) (*File, error) {
+	return fs.CreateWithPattern(path, fs.meta.PatternFor(path), src)
+}
+
+// CreateWithPattern creates a file with an explicit stripe pattern.
+func (fs *FileSystem) CreateWithPattern(path string, p StripePattern, src *rng.Source) (*File, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	targets, err := fs.cfg.Chooser.Choose(p.Count, fs.mgmtd.Online(), src)
+	if err != nil {
+		return nil, err
+	}
+	f := &File{Path: path, Pattern: p, Targets: targets}
+	if err := fs.meta.create(path, f); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Region is a contiguous byte range of a file.
+type Region struct {
+	Offset int64
+	Length int64
+}
+
+// WriteOp describes one or more processes on one client node writing
+// contiguous regions of a file — the unit of work IOR's N-1 contiguous
+// mode generates per rank. Symmetric ranks on the same node may be
+// coalesced into a single op (Regions + Procs) for simulation efficiency;
+// the fluid-flow behaviour is identical because max-min fair rates of
+// identical flows are equal.
+type WriteOp struct {
+	Client *Client
+	File   *File
+	Offset int64
+	Length int64
+	// Regions, when non-empty, replaces Offset/Length with multiple
+	// contiguous regions (one per coalesced rank).
+	Regions []Region
+	// Procs is the number of ranks this op represents (default 1). It
+	// scales the concurrency depth and divides the serial per-transfer
+	// overhead, which each rank pays in parallel.
+	Procs int
+	// App identifies the application for target-sharing accounting
+	// (Figures 12 and 13).
+	App string
+	// TransferSize is the request size (IOR "-t"); it sets the in-flight
+	// chunk depth per target. Must be positive.
+	TransferSize int64
+	// RateCap bounds the op's rate in MiB/s (0 = none); for coalesced ops
+	// it is the per-process cap times Procs. The workload layer derives it
+	// from the client ramp model.
+	RateCap float64
+	// DepthScale scales the op's concurrency contribution (the workload
+	// layer uses it for intra-node contention). Zero means 1.
+	DepthScale float64
+	// RampWeight scales the op's usage of the shared client-stack
+	// resource (>1 for over-subscribed nodes — see Config.RampWeight).
+	// Zero means 1.
+	RampWeight float64
+	// OnComplete fires when the last byte has been written AND the
+	// process's serial per-transfer overhead has elapsed.
+	OnComplete func(at simkernel.Time)
+}
+
+func (op *WriteOp) procs() int {
+	if op.Procs <= 0 {
+		return 1
+	}
+	return op.Procs
+}
+
+// perTargetDepth returns the request-queue depth the op's processes
+// contribute to each target of the file: transfers of TransferSize bytes
+// split into chunks spread over Count targets, per process.
+func (op *WriteOp) perTargetDepth() float64 {
+	p := op.File.Pattern
+	inflight := float64(op.TransferSize) / float64(p.ChunkSize)
+	if inflight < 1 {
+		inflight = 1
+	}
+	scale := op.DepthScale
+	if scale == 0 {
+		scale = 1
+	}
+	return float64(op.procs()) * scale * inflight / float64(p.Count)
+}
+
+// StartWrite begins the write. It acquires the file's targets, builds the
+// flow's resource usage from the exact striping distribution of the
+// region, and schedules OnComplete. It returns the underlying flow.
+func (fs *FileSystem) StartWrite(op *WriteOp) (*simnet.Flow, error) {
+	return fs.startIO(op, false)
+}
+
+// StartRead begins reading a region of the file. The service model is
+// symmetric with writes — the paper studies writes only and expects reads
+// to behave the same (§III-B, citing Chowdhury et al.); reads share the
+// targets' device time and the (half-duplex-modelled) links with writes.
+// The region must lie within the file's written size.
+func (fs *FileSystem) StartRead(op *WriteOp) (*simnet.Flow, error) {
+	return fs.startIO(op, true)
+}
+
+func (fs *FileSystem) startIO(op *WriteOp, read bool) (*simnet.Flow, error) {
+	if op.Client == nil || op.File == nil {
+		return nil, fmt.Errorf("beegfs: write op needs a client and a file")
+	}
+	if op.TransferSize <= 0 {
+		return nil, fmt.Errorf("beegfs: write op needs a positive TransferSize")
+	}
+	regions := op.Regions
+	if len(regions) == 0 {
+		regions = []Region{{Offset: op.Offset, Length: op.Length}}
+	}
+	if read {
+		for _, reg := range regions {
+			if reg.Offset+reg.Length > op.File.Size {
+				return nil, fmt.Errorf("beegfs: read of [%d,%d) beyond file size %d",
+					reg.Offset, reg.Offset+reg.Length, op.File.Size)
+			}
+		}
+	} else if err := fs.precheckCapacity(op.File, regions); err != nil {
+		return nil, err
+	}
+	dist := make([]int64, op.File.Pattern.Count)
+	var totalLen int64
+	for _, reg := range regions {
+		if reg.Length < 0 || reg.Offset < 0 {
+			return nil, fmt.Errorf("beegfs: negative write region")
+		}
+		d, err := op.File.Pattern.RegionDistribution(reg.Offset, reg.Length)
+		if err != nil {
+			return nil, err
+		}
+		for i := range dist {
+			dist[i] += d[i]
+		}
+		totalLen += reg.Length
+	}
+	app := op.App
+	if app == "" {
+		app = "default"
+	}
+	depth := op.perTargetDepth()
+	// Select the targets this op touches: writes hit primaries AND buddy
+	// mirrors (the primary forwards every chunk to its secondary); reads
+	// hit primaries with per-stripe failover.
+	targets := op.File.Targets
+	var mirrors []*storagesim.Target
+	if read {
+		var err error
+		if targets, err = fs.readTargets(op.File); err != nil {
+			return nil, err
+		}
+	} else if op.File.Mirrored() {
+		mirrors = op.File.mirrors
+	}
+	// Acquire every target of the file (BeeGFS opens sessions on all
+	// stripe targets), even those receiving no bytes from this region.
+	for _, t := range targets {
+		t.Acquire(app, depth)
+	}
+	for _, t := range mirrors {
+		t.Acquire(app, depth)
+	}
+	usage := make(map[*simnet.Resource]float64)
+	total := float64(totalLen)
+	if total > 0 {
+		hostShare := make(map[*storagesim.Host]float64)
+		for i, t := range targets {
+			if dist[i] == 0 {
+				continue
+			}
+			w := float64(dist[i]) / total
+			usage[t.Resource()] += w
+			hostShare[t.Host()] += w
+		}
+		// Mirrored writes consume the same bandwidth again on the
+		// secondaries (server-side forwarding; the client link carries the
+		// data once).
+		for i, t := range mirrors {
+			if dist[i] == 0 {
+				continue
+			}
+			w := float64(dist[i]) / total
+			usage[t.Resource()] += w
+			hostShare[t.Host()] += w
+		}
+		for h, w := range hostShare {
+			usage[h.Controller()] += w
+			if nic := fs.serverNIC[h]; nic != nil {
+				usage[nic] += w
+			}
+		}
+		if op.Client.nic != nil {
+			usage[op.Client.nic] = 1
+		}
+		if fs.clientRamp != nil {
+			w := op.RampWeight
+			if w == 0 {
+				w = 1
+			}
+			usage[fs.clientRamp] = w
+		}
+	}
+	fs.noteClientOps(op.Client, 1)
+	// Per-transfer request overhead is paid serially by each rank, and
+	// ranks proceed in parallel, so a coalesced op divides it by Procs.
+	nTransfers := (totalLen + op.TransferSize - 1) / op.TransferSize
+	overhead := float64(nTransfers) * fs.cfg.TransferLatency / float64(op.procs())
+	var maxEnd int64
+	for _, reg := range regions {
+		if end := reg.Offset + reg.Length; end > maxEnd {
+			maxEnd = end
+		}
+	}
+	flow := &simnet.Flow{
+		Name:   fmt.Sprintf("%s/%s@%d", app, op.File.Path, regions[0].Offset),
+		Volume: total / float64(MiB),
+		Cap:    op.RateCap,
+		Usage:  usage,
+	}
+	flow.OnComplete = func(at simkernel.Time) {
+		finish := func() {
+			fs.noteClientOps(op.Client, -1)
+			for _, t := range targets {
+				t.Release(app, depth)
+			}
+			for _, t := range mirrors {
+				t.Release(app, depth)
+			}
+			if !read && op.File.Size < maxEnd {
+				op.File.Size = maxEnd
+				fs.accountStorage(op.File)
+			}
+			if op.OnComplete != nil {
+				op.OnComplete(fs.sim.Now())
+			}
+		}
+		if overhead > 0 {
+			fs.sim.After(overhead, finish)
+		} else {
+			finish()
+		}
+	}
+	fs.net.Start(flow)
+	return flow, nil
+}
+
+// precheckCapacity rejects writes that would overflow a stripe target,
+// projecting the file's dense size after the regions complete. Concurrent
+// in-flight writes that individually pass the check may overshoot
+// slightly; the model accepts that (a real PFS reserves chunks lazily
+// too).
+func (fs *FileSystem) precheckCapacity(f *File, regions []Region) error {
+	if fs.cfg.Storage.TargetCapacityBytes == 0 {
+		return nil
+	}
+	projected := f.Size
+	for _, reg := range regions {
+		if end := reg.Offset + reg.Length; end > projected {
+			projected = end
+		}
+	}
+	dist, err := f.Pattern.RegionDistribution(0, projected)
+	if err != nil {
+		return err
+	}
+	for i, t := range f.Targets {
+		delta := dist[i] - f.StoredOn(i)
+		if delta <= 0 {
+			continue
+		}
+		if t.Used()+delta > t.CapacityBytes() {
+			return fmt.Errorf("beegfs: no space left on target %d for %q (%d of %d bytes used)",
+				t.ID, f.Path, t.Used(), t.CapacityBytes())
+		}
+	}
+	return nil
+}
+
+// accountStorage brings the per-target stored bytes up to the file's
+// current dense size.
+func (fs *FileSystem) accountStorage(f *File) {
+	if fs.cfg.Storage.TargetCapacityBytes == 0 {
+		return
+	}
+	dist, err := f.Pattern.RegionDistribution(0, f.Size)
+	if err != nil {
+		return
+	}
+	if f.stored == nil {
+		f.stored = make([]int64, len(f.Targets))
+	}
+	for i, t := range f.Targets {
+		if delta := dist[i] - f.stored[i]; delta > 0 {
+			// Best effort after the precheck; concurrent overshoot is
+			// bounded by the in-flight volume.
+			_ = t.Store(delta)
+			f.stored[i] = dist[i]
+		}
+	}
+	if len(f.mirrors) > 0 {
+		if f.storedM == nil {
+			f.storedM = make([]int64, len(f.mirrors))
+		}
+		for i, t := range f.mirrors {
+			if delta := dist[i] - f.storedM[i]; delta > 0 {
+				_ = t.Store(delta)
+				f.storedM[i] = dist[i]
+			}
+		}
+	}
+}
+
+// Remove deletes a file: its metadata entry and its chunks' storage
+// accounting.
+func (fs *FileSystem) Remove(path string) error {
+	f := fs.meta.files[path]
+	if f == nil {
+		return fmt.Errorf("beegfs: file %q does not exist", path)
+	}
+	for i, t := range f.Targets {
+		if i < len(f.stored) && f.stored[i] > 0 {
+			t.Free(f.stored[i])
+		}
+	}
+	for i, t := range f.mirrors {
+		if i < len(f.storedM) && f.storedM[i] > 0 {
+			t.Free(f.storedM[i])
+		}
+	}
+	return fs.meta.Remove(path)
+}
+
+// ClientRampCap returns the per-process rate cap (MiB/s) implied by the
+// client efficiency model for an application using nodes compute nodes
+// with ppn processes each. Zero means "no cap". Processes beyond PpnSat
+// pay the intra-node contention penalty (Figure 5b's slight degradation).
+func (c Config) ClientRampCap(nodes, ppn int) float64 {
+	if c.ClientA == 0 || nodes <= 0 || ppn <= 0 {
+		return 0
+	}
+	aggregate := c.ClientA * math.Pow(float64(nodes), c.ClientGamma)
+	if c.PpnSat > 0 && ppn > c.PpnSat && c.IntraNodePenalty > 0 {
+		excess := math.Log2(float64(ppn) / float64(c.PpnSat))
+		aggregate *= math.Pow(1-c.IntraNodePenalty, excess)
+	}
+	return aggregate / float64(nodes*ppn)
+}
+
+// RampWeight returns the client-stack usage multiplier for a flow issued
+// by a node running ppn processes: beyond PpnSat, intra-node contention
+// makes the node consume proportionally more of the shared client-stack
+// capacity for the same throughput (Figure 5b). The analytic counterpart
+// is the penalty factor inside ClientRampCap.
+func (c Config) RampWeight(ppn int) float64 {
+	if c.PpnSat > 0 && ppn > c.PpnSat && c.IntraNodePenalty > 0 {
+		excess := math.Log2(float64(ppn) / float64(c.PpnSat))
+		return 1 / math.Pow(1-c.IntraNodePenalty, excess)
+	}
+	return 1
+}
+
+// DepthScale returns the concurrency contribution multiplier for one
+// process when ppn processes share a node: processes beyond PpnSat add no
+// depth, and IntraNodePenalty shaves the rest (lesson 3 / Figure 5b).
+func (c Config) DepthScale(ppn int) float64 {
+	if ppn <= 0 {
+		return 0
+	}
+	scale := 1.0
+	if c.PpnSat > 0 && ppn > c.PpnSat {
+		scale = float64(c.PpnSat) / float64(ppn)
+		if c.IntraNodePenalty > 0 {
+			excess := math.Log2(float64(ppn) / float64(c.PpnSat))
+			scale *= math.Pow(1-c.IntraNodePenalty, excess)
+		}
+	}
+	return scale
+}

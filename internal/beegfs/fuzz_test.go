@@ -1,0 +1,68 @@
+package beegfs
+
+import "testing"
+
+// FuzzRegionDistribution cross-checks the stripe arithmetic's fast path
+// against the naive chunk walk on arbitrary regions (run with
+// `go test -fuzz=FuzzRegionDistribution ./internal/beegfs` to explore;
+// the seed corpus runs as a normal test).
+func FuzzRegionDistribution(f *testing.F) {
+	f.Add(4, int64(512*KiB), int64(0), int64(1*MiB))
+	f.Add(8, int64(512*KiB), int64(3*GiB+12345), int64(64*MiB))
+	f.Add(1, int64(7), int64(13), int64(1000))
+	f.Add(3, int64(1), int64(0), int64(0))
+	f.Fuzz(func(t *testing.T, count int, chunk, off, n int64) {
+		if count <= 0 || count > 16 || chunk <= 0 || chunk > 4*MiB {
+			t.Skip()
+		}
+		if off < 0 || n < 0 || n > 1<<26 || off > 1<<40 {
+			t.Skip()
+		}
+		// Bound the reference walk's work.
+		if chunk > 0 && n/chunk > 1<<16 {
+			t.Skip()
+		}
+		p := StripePattern{Count: count, ChunkSize: chunk}
+		got, err := p.RegionDistribution(off, n)
+		if err != nil {
+			t.Fatalf("valid input rejected: %v", err)
+		}
+		want := naiveDistribution(p, off, n)
+		var sum int64
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("count=%d chunk=%d off=%d n=%d: dist[%d] = %d, want %d",
+					count, chunk, off, n, i, got[i], want[i])
+			}
+			if got[i] < 0 {
+				t.Fatalf("negative bytes on target %d", i)
+			}
+			sum += got[i]
+		}
+		if sum != n {
+			t.Fatalf("distribution sums to %d, want %d", sum, n)
+		}
+	})
+}
+
+// FuzzPatternForPath exercises the metadata directory-prefix matcher with
+// arbitrary paths: it must never panic and always return a valid pattern.
+func FuzzPatternForPath(f *testing.F) {
+	f.Add("/a/b/c")
+	f.Add("")
+	f.Add("///")
+	f.Add("/scratch/../x")
+	f.Fuzz(func(t *testing.T, path string) {
+		m, err := NewMetaService(StripePattern{Count: 4, ChunkSize: 512 * KiB})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.SetDirPattern("/a", StripePattern{Count: 2, ChunkSize: 512 * KiB}); err != nil {
+			t.Fatal(err)
+		}
+		p := m.PatternFor(path)
+		if p.Validate() != nil {
+			t.Fatalf("PatternFor(%q) returned invalid pattern %+v", path, p)
+		}
+	})
+}

@@ -1,0 +1,122 @@
+package beegfs
+
+import (
+	"fmt"
+
+	"repro/internal/storagesim"
+)
+
+// BuddyGroup pairs a primary and a secondary target on different storage
+// hosts — BeeGFS's "buddy mirror group". Files created with a mirrored
+// stripe pattern write every chunk to both members; reads prefer the
+// primary and fall back to the secondary when the primary is offline.
+//
+// The paper does not evaluate mirroring; the feature is here because a
+// production BeeGFS deployment offers it, and because it makes a clean
+// ablation: mirroring doubles the storage-side load per byte, so the
+// paper's allocation arithmetic applies with the allocation of the
+// combined target set.
+type BuddyGroup struct {
+	ID        int
+	Primary   *storagesim.Target
+	Secondary *storagesim.Target
+}
+
+// BuddyGroups pairs the system's targets across hosts: the i-th target of
+// host 2j is paired with the i-th target of host 2j+1. It errors when the
+// topology cannot be paired host-symmetrically (odd host count or uneven
+// targets per host).
+func BuddyGroups(sys *storagesim.System) ([]BuddyGroup, error) {
+	hosts := sys.Hosts()
+	if len(hosts)%2 != 0 {
+		return nil, fmt.Errorf("beegfs: buddy mirroring needs an even number of hosts, got %d", len(hosts))
+	}
+	var groups []BuddyGroup
+	id := 1
+	for h := 0; h < len(hosts); h += 2 {
+		a, b := hosts[h], hosts[h+1]
+		if len(a.Targets()) != len(b.Targets()) {
+			return nil, fmt.Errorf("beegfs: hosts %s and %s have different target counts", a.Name, b.Name)
+		}
+		for i := range a.Targets() {
+			groups = append(groups, BuddyGroup{ID: id, Primary: a.Targets()[i], Secondary: b.Targets()[i]})
+			id++
+		}
+	}
+	return groups, nil
+}
+
+// CreateMirrored creates a file striped over `count` buddy groups chosen
+// round-robin over the group list. Each chunk lands on both members of
+// its group, so the file's write traffic doubles and its effective
+// allocation is balanced by construction (each group spans both hosts of
+// its pair).
+func (fs *FileSystem) CreateMirrored(path string, count int, chunkSize int64) (*File, error) {
+	groups, err := BuddyGroups(fs.storage)
+	if err != nil {
+		return nil, err
+	}
+	if count <= 0 || count > len(groups) {
+		return nil, fmt.Errorf("beegfs: mirrored stripe count %d out of range (1..%d)", count, len(groups))
+	}
+	pattern := StripePattern{Count: count, ChunkSize: chunkSize}
+	if err := pattern.Validate(); err != nil {
+		return nil, err
+	}
+	// Rotate group selection with the same cursor discipline as the
+	// round-robin chooser.
+	start := fs.mirrorCursor % len(groups)
+	fs.mirrorCursor = (fs.mirrorCursor + count) % len(groups)
+	f := &File{Path: path, Pattern: pattern}
+	for i := 0; i < count; i++ {
+		g := groups[(start+i)%len(groups)]
+		f.Targets = append(f.Targets, g.Primary)
+		f.mirrors = append(f.mirrors, g.Secondary)
+	}
+	if err := fs.meta.create(path, f); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Mirrored reports whether the file carries buddy mirrors.
+func (f *File) Mirrored() bool { return len(f.mirrors) > 0 }
+
+// MirrorIDs returns the secondary targets' IDs in stripe order (empty for
+// unmirrored files).
+func (f *File) MirrorIDs() []int {
+	ids := make([]int, len(f.mirrors))
+	for i, t := range f.mirrors {
+		ids[i] = t.ID
+	}
+	return ids
+}
+
+// readTargets returns the targets a read should use: primaries, with
+// per-stripe failover to the secondary when the primary is offline.
+func (fs *FileSystem) readTargets(f *File) ([]*storagesim.Target, error) {
+	if !f.Mirrored() {
+		return f.Targets, nil
+	}
+	out := make([]*storagesim.Target, len(f.Targets))
+	for i, t := range f.Targets {
+		switch {
+		case fs.isOnline(t):
+			out[i] = t
+		case fs.isOnline(f.mirrors[i]):
+			out[i] = f.mirrors[i]
+		default:
+			return nil, fmt.Errorf("beegfs: stripe %d of %q has no online replica", i, f.Path)
+		}
+	}
+	return out, nil
+}
+
+func (fs *FileSystem) isOnline(t *storagesim.Target) bool {
+	for _, o := range fs.mgmtd.Online() {
+		if o == t {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,109 @@
+package beegfs
+
+import "fmt"
+
+// KiB, MiB and GiB are byte-size helpers used throughout the repo.
+const (
+	KiB int64 = 1024
+	MiB int64 = 1024 * KiB
+	GiB int64 = 1024 * MiB
+)
+
+// StripePattern describes how a file is striped: the number of storage
+// targets used (the stripe count — the paper's central parameter) and the
+// chunk size (PlaFRIM default: 512 KiB).
+type StripePattern struct {
+	Count     int
+	ChunkSize int64
+}
+
+// Validate reports pattern errors.
+func (p StripePattern) Validate() error {
+	if p.Count <= 0 {
+		return fmt.Errorf("beegfs: stripe count must be positive, got %d", p.Count)
+	}
+	if p.ChunkSize <= 0 {
+		return fmt.Errorf("beegfs: chunk size must be positive, got %d", p.ChunkSize)
+	}
+	return nil
+}
+
+// TargetOfChunk returns the index (into the file's target list) storing the
+// given chunk.
+func (p StripePattern) TargetOfChunk(chunk int64) int {
+	return int(chunk % int64(p.Count))
+}
+
+// ChunkOfOffset returns the chunk index containing the byte offset.
+func (p StripePattern) ChunkOfOffset(off int64) int64 {
+	return off / p.ChunkSize
+}
+
+// RegionDistribution returns, for a contiguous byte region [off, off+n) of
+// a file striped with pattern p, the number of bytes that land on each of
+// the p.Count targets (indexed by position in the file's target list).
+//
+// The computation is exact — it handles partial first and last chunks and
+// regions shorter than one full stripe — because the allocation analysis
+// (which server receives which fraction of the traffic) is the paper's key
+// quantity.
+func (p StripePattern) RegionDistribution(off, n int64) ([]int64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if off < 0 || n < 0 {
+		return nil, fmt.Errorf("beegfs: negative region off=%d n=%d", off, n)
+	}
+	dist := make([]int64, p.Count)
+	if n == 0 {
+		return dist, nil
+	}
+	stripeWidth := p.ChunkSize * int64(p.Count)
+	// Whole stripes fully covered contribute ChunkSize to every target.
+	// Work chunk by chunk only on the ragged edges.
+	firstChunk := off / p.ChunkSize
+	lastChunk := (off + n - 1) / p.ChunkSize
+	if lastChunk-firstChunk < 2*int64(p.Count) {
+		// Small region: walk the chunks directly.
+		for c := firstChunk; c <= lastChunk; c++ {
+			lo := c * p.ChunkSize
+			hi := lo + p.ChunkSize
+			if lo < off {
+				lo = off
+			}
+			if hi > off+n {
+				hi = off + n
+			}
+			dist[p.TargetOfChunk(c)] += hi - lo
+		}
+		return dist, nil
+	}
+	// Large region: peel the ragged head up to a stripe boundary, the
+	// ragged tail from the last stripe boundary, and account the aligned
+	// middle arithmetically.
+	headEnd := ((off + stripeWidth - 1) / stripeWidth) * stripeWidth
+	tailStart := ((off + n) / stripeWidth) * stripeWidth
+	for c := firstChunk; c*p.ChunkSize < headEnd; c++ {
+		lo := c * p.ChunkSize
+		hi := lo + p.ChunkSize
+		if lo < off {
+			lo = off
+		}
+		dist[p.TargetOfChunk(c)] += hi - lo
+	}
+	for c := tailStart / p.ChunkSize; c <= lastChunk; c++ {
+		lo := c * p.ChunkSize
+		hi := lo + p.ChunkSize
+		if hi > off+n {
+			hi = off + n
+		}
+		dist[p.TargetOfChunk(c)] += hi - lo
+	}
+	if tailStart > headEnd {
+		perTarget := (tailStart - headEnd) / int64(p.Count)
+		for i := range dist {
+			dist[i] += perTarget
+		}
+	}
+	return dist, nil
+}

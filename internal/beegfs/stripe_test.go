@@ -1,0 +1,167 @@
+package beegfs
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// naiveDistribution walks every chunk of the region — the obviously
+// correct reference implementation.
+func naiveDistribution(p StripePattern, off, n int64) []int64 {
+	dist := make([]int64, p.Count)
+	for pos := off; pos < off+n; {
+		chunk := pos / p.ChunkSize
+		end := (chunk + 1) * p.ChunkSize
+		if end > off+n {
+			end = off + n
+		}
+		dist[p.TargetOfChunk(chunk)] += end - pos
+		pos = end
+	}
+	return dist
+}
+
+func TestPatternValidate(t *testing.T) {
+	if err := (StripePattern{Count: 4, ChunkSize: 512 * KiB}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (StripePattern{Count: 0, ChunkSize: 1}).Validate(); err == nil {
+		t.Fatal("count 0 accepted")
+	}
+	if err := (StripePattern{Count: 1, ChunkSize: 0}).Validate(); err == nil {
+		t.Fatal("chunk 0 accepted")
+	}
+}
+
+func TestTargetOfChunkCycles(t *testing.T) {
+	p := StripePattern{Count: 3, ChunkSize: 1}
+	want := []int{0, 1, 2, 0, 1, 2, 0}
+	for c, w := range want {
+		if got := p.TargetOfChunk(int64(c)); got != w {
+			t.Fatalf("TargetOfChunk(%d) = %d, want %d", c, got, w)
+		}
+	}
+}
+
+func TestRegionDistributionAlignedStripe(t *testing.T) {
+	p := StripePattern{Count: 4, ChunkSize: 512 * KiB}
+	// Exactly one full stripe: every target gets one chunk.
+	dist, err := p.RegionDistribution(0, 4*512*KiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range dist {
+		if d != 512*KiB {
+			t.Fatalf("target %d got %d bytes, want %d", i, d, 512*KiB)
+		}
+	}
+}
+
+func TestRegionDistributionUnalignedStart(t *testing.T) {
+	p := StripePattern{Count: 2, ChunkSize: 100}
+	// Region [150, 350): chunk1 [150,200)=50 -> t1; chunk2 [200,300)=100 -> t0;
+	// chunk3 [300,350)=50 -> t1.
+	dist, err := p.RegionDistribution(150, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist[0] != 100 || dist[1] != 100 {
+		t.Fatalf("dist = %v, want [100 100]", dist)
+	}
+}
+
+func TestRegionDistributionTinyRegion(t *testing.T) {
+	p := StripePattern{Count: 8, ChunkSize: 512 * KiB}
+	dist, err := p.RegionDistribution(512*KiB+7, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist[1] != 10 {
+		t.Fatalf("dist = %v, want 10 bytes on target 1", dist)
+	}
+}
+
+func TestRegionDistributionZeroLength(t *testing.T) {
+	p := StripePattern{Count: 4, ChunkSize: 512 * KiB}
+	dist, err := p.RegionDistribution(12345, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dist {
+		if d != 0 {
+			t.Fatalf("zero-length region distributed bytes: %v", dist)
+		}
+	}
+}
+
+func TestRegionDistributionErrors(t *testing.T) {
+	p := StripePattern{Count: 4, ChunkSize: 512 * KiB}
+	if _, err := p.RegionDistribution(-1, 10); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	if _, err := p.RegionDistribution(0, -10); err == nil {
+		t.Fatal("negative length accepted")
+	}
+	if _, err := (StripePattern{}).RegionDistribution(0, 10); err == nil {
+		t.Fatal("invalid pattern accepted")
+	}
+}
+
+// Property: the fast path equals the naive chunk walk, and distributions
+// sum to the region length.
+func TestRegionDistributionMatchesNaive(t *testing.T) {
+	check := func(count8 uint8, chunkSel uint8, offRaw, nRaw uint32) bool {
+		count := int(count8%8) + 1
+		chunks := []int64{7, 512, 4096, 512 * KiB}
+		chunk := chunks[int(chunkSel)%len(chunks)]
+		p := StripePattern{Count: count, ChunkSize: chunk}
+		// Keep the naive reference walk (n/chunk steps) fast.
+		off := int64(offRaw) % (1000 * chunk)
+		n := int64(nRaw) % (5000 * chunk)
+		got, err := p.RegionDistribution(off, n)
+		if err != nil {
+			return false
+		}
+		want := naiveDistribution(p, off, n)
+		sum := int64(0)
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+			sum += got[i]
+		}
+		return sum == n
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The paper's setup: 1 MiB transfers with 512 KiB chunks means every
+// transfer spans two targets ("large enough ... to require more than one
+// OST to be accessed for each request", §III-B).
+func TestPaperTransferSpansTwoTargets(t *testing.T) {
+	p := StripePattern{Count: 4, ChunkSize: 512 * KiB}
+	dist, err := p.RegionDistribution(0, 1*MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	touched := 0
+	for _, d := range dist {
+		if d > 0 {
+			touched++
+		}
+	}
+	if touched != 2 {
+		t.Fatalf("1 MiB transfer touched %d targets, want 2", touched)
+	}
+}
+
+func BenchmarkRegionDistributionLarge(b *testing.B) {
+	p := StripePattern{Count: 8, ChunkSize: 512 * KiB}
+	for i := 0; i < b.N; i++ {
+		if _, err := p.RegionDistribution(3*GiB+12345, 4*GiB); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/beegfs"
+	"repro/internal/rng"
+)
+
+func TestScenarioString(t *testing.T) {
+	if Scenario1Ethernet.String() != "scenario1-ethernet" {
+		t.Fatal(Scenario1Ethernet.String())
+	}
+	if Scenario2Omnipath.String() != "scenario2-omnipath" {
+		t.Fatal(Scenario2Omnipath.String())
+	}
+	if Scenario(9).String() == "" {
+		t.Fatal("unknown scenario produced empty string")
+	}
+}
+
+func TestPlaFRIMScenario1(t *testing.T) {
+	p := PlaFRIM(Scenario1Ethernet)
+	if p.FS.Hosts != 2 || p.FS.TargetsPerHost != 4 {
+		t.Fatalf("shape = %dx%d, want 2x4", p.FS.Hosts, p.FS.TargetsPerHost)
+	}
+	// 10 GbE at 88% protocol efficiency = 1100 MiB/s.
+	if p.FS.ServerNICCapacity != 1100 {
+		t.Fatalf("server NIC = %v, want 1100", p.FS.ServerNICCapacity)
+	}
+	if p.ClientNICCapacity != 1100 {
+		t.Fatalf("client NIC = %v", p.ClientNICCapacity)
+	}
+	if p.FS.DefaultPattern.Count != 4 || p.FS.DefaultPattern.ChunkSize != 512*beegfs.KiB {
+		t.Fatalf("default pattern = %+v, want PlaFRIM's count 4 / 512 KiB", p.FS.DefaultPattern)
+	}
+	if p.FS.Chooser.Name() != "roundrobin" {
+		t.Fatalf("chooser = %s, want roundrobin", p.FS.Chooser.Name())
+	}
+	if p.FS.ClientA == 0 {
+		t.Fatal("scenario 1 needs the client ramp")
+	}
+}
+
+func TestPlaFRIMScenario2(t *testing.T) {
+	p := PlaFRIM(Scenario2Omnipath)
+	if p.FS.ServerNICCapacity != 11000 {
+		t.Fatalf("server NIC = %v, want 11000 (100 Gbit x 0.88)", p.FS.ServerNICCapacity)
+	}
+	if p.FS.ClientA != 1631 {
+		t.Fatalf("scenario-2 client ramp A = %v, want 1631 (Fig 4b's one-node bandwidth)", p.FS.ClientA)
+	}
+	if p.FS.IntraNodePenalty == 0 {
+		t.Fatal("scenario 2 should carry the intra-node penalty (Fig 5b)")
+	}
+}
+
+func TestPlaFRIMUnknownScenarioPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown scenario did not panic")
+		}
+	}()
+	PlaFRIM(Scenario(42))
+}
+
+func TestDeployAndNodes(t *testing.T) {
+	dep, err := PlaFRIM(Scenario1Ethernet).Deploy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n8 := dep.Nodes(8)
+	if len(n8) != 8 {
+		t.Fatalf("Nodes(8) = %d", len(n8))
+	}
+	// Node pool persists: asking for fewer returns the same clients.
+	n4 := dep.Nodes(4)
+	for i := range n4 {
+		if n4[i] != n8[i] {
+			t.Fatal("node pool not stable")
+		}
+	}
+	n16 := dep.Nodes(16)
+	if len(n16) != 16 || n16[0] != n8[0] {
+		t.Fatal("node pool did not grow in place")
+	}
+	if n16[0].NIC() == nil {
+		t.Fatal("client NIC missing")
+	}
+}
+
+func TestReJitterMovesServerNIC(t *testing.T) {
+	dep, err := PlaFRIM(Scenario1Ethernet).Deploy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := dep.FS.Storage().Hosts()[0]
+	nic := dep.FS.ServerNIC(h)
+	if nic == nil {
+		t.Fatal("no server NIC in scenario 1")
+	}
+	base := nic.Capacity()
+	src := rng.New(3)
+	changed := false
+	for i := 0; i < 10 && !changed; i++ {
+		dep.ReJitter(src)
+		if nic.Capacity() != base {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("ReJitter never moved the server NIC capacity")
+	}
+	dep.ResetJitter()
+	if nic.Capacity() != base {
+		t.Fatalf("ResetJitter left capacity at %v, want %v", nic.Capacity(), base)
+	}
+}
+
+func TestCustomPlatform(t *testing.T) {
+	p := Custom("quad", 4, 4, 2500, &beegfs.BalancedChooser{})
+	if p.FS.Hosts != 4 {
+		t.Fatalf("hosts = %d", p.FS.Hosts)
+	}
+	if p.FS.ServerNICCapacity != 2500*0.88 {
+		t.Fatalf("server NIC = %v", p.FS.ServerNICCapacity)
+	}
+	dep, err := p.Deploy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(dep.FS.Storage().Targets()); got != 16 {
+		t.Fatalf("targets = %d, want 16", got)
+	}
+}
+
+func TestCustomClampsDefaultCount(t *testing.T) {
+	p := Custom("tiny", 1, 2, 1250, &beegfs.RoundRobinChooser{})
+	if p.FS.DefaultPattern.Count != 2 {
+		t.Fatalf("default count = %d, want clamped to 2", p.FS.DefaultPattern.Count)
+	}
+	if _, err := p.Deploy(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	s := Spec{
+		Name: "my-cluster", Base: "scenario1",
+		Chooser: "balanced", DefaultStripeCount: 8, ChunkSizeKiB: 1024,
+		MDSOpRate: 5000,
+	}
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != s {
+		t.Fatalf("round trip changed spec: %+v vs %+v", back, s)
+	}
+	p, err := back.Platform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "my-cluster" || p.FS.Chooser.Name() != "balanced" {
+		t.Fatalf("platform = %+v", p.Name)
+	}
+	if p.FS.DefaultPattern.Count != 8 || p.FS.DefaultPattern.ChunkSize != 1024*1024 {
+		t.Fatalf("pattern = %+v", p.FS.DefaultPattern)
+	}
+	if p.FS.MDSOpRate != 5000 {
+		t.Fatalf("MDSOpRate = %v", p.FS.MDSOpRate)
+	}
+	if _, err := p.Deploy(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpecCustomBase(t *testing.T) {
+	s := Spec{Name: "lab", Base: "custom", Hosts: 3, TargetsPerHost: 2, LinkRateMiBs: 2500}
+	p, err := s.Platform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.FS.Hosts != 3 || p.FS.TargetsPerHost != 2 {
+		t.Fatalf("shape = %d/%d", p.FS.Hosts, p.FS.TargetsPerHost)
+	}
+	if p.FS.ServerNICCapacity != 2500*0.88 {
+		t.Fatalf("NIC = %v", p.FS.ServerNICCapacity)
+	}
+}
+
+func TestSpecErrors(t *testing.T) {
+	if _, err := (Spec{Base: "nope"}).Platform(); err == nil {
+		t.Fatal("unknown base accepted")
+	}
+	if _, err := (Spec{Base: "custom"}).Platform(); err == nil {
+		t.Fatal("custom without link rate accepted")
+	}
+	if _, err := (Spec{Base: "scenario1", Chooser: "magic"}).Platform(); err == nil {
+		t.Fatal("unknown chooser accepted")
+	}
+	if _, err := (Spec{Base: "scenario1", DefaultStripeCount: 99}).Platform(); err == nil {
+		t.Fatal("oversized stripe count accepted")
+	}
+	if _, err := ParseSpec([]byte(`{"base":"scenario1","typo_field":1}`)); err == nil {
+		t.Fatal("unknown JSON field accepted")
+	}
+	if _, err := ParseSpec([]byte(`{bad json`)); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}
+
+func TestSpecOf(t *testing.T) {
+	p := PlaFRIM(Scenario2Omnipath)
+	s := SpecOf(p, "scenario2")
+	if s.Chooser != "roundrobin" || s.Hosts != 2 || s.DefaultStripeCount != 4 {
+		t.Fatalf("spec = %+v", s)
+	}
+	p2, err := s.Platform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.FS.ServerNICCapacity != p.FS.ServerNICCapacity {
+		t.Fatal("base calibration lost in round trip")
+	}
+}

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simkernel"
+	"repro/internal/simnet"
+	"repro/internal/storagesim"
+)
+
+func TestNewAllocationSorts(t *testing.T) {
+	a := NewAllocation([]int{3, 1})
+	if a.Min() != 1 || a.Max() != 3 {
+		t.Fatalf("(min,max) = (%d,%d), want (1,3)", a.Min(), a.Max())
+	}
+	if a.String() != "(1,3)" {
+		t.Fatalf("String = %q", a.String())
+	}
+}
+
+func TestAllocationBasics(t *testing.T) {
+	a := NewAllocation([]int{2, 2})
+	if !a.Balanced() {
+		t.Fatal("(2,2) not balanced")
+	}
+	if a.Count() != 4 {
+		t.Fatalf("count = %d", a.Count())
+	}
+	if a.BalanceRatio() != 1 {
+		t.Fatalf("ratio = %v", a.BalanceRatio())
+	}
+	if a.MaxShare() != 0.5 {
+		t.Fatalf("max share = %v", a.MaxShare())
+	}
+	b := NewAllocation([]int{0, 3})
+	if b.Balanced() {
+		t.Fatal("(0,3) balanced")
+	}
+	if b.BalanceRatio() != 0 {
+		t.Fatalf("(0,3) ratio = %v", b.BalanceRatio())
+	}
+	if b.MaxShare() != 1 {
+		t.Fatalf("(0,3) max share = %v", b.MaxShare())
+	}
+}
+
+func TestAllocationEmpty(t *testing.T) {
+	var a Allocation
+	if a.Min() != 0 || a.Max() != 0 || a.Count() != 0 {
+		t.Fatal("zero allocation misbehaves")
+	}
+	if a.Balanced() {
+		t.Fatal("empty allocation reported balanced")
+	}
+	if a.String() != "()" {
+		t.Fatalf("String = %q", a.String())
+	}
+	if a.MaxShare() != 0 || a.BalanceRatio() != 0 {
+		t.Fatal("empty allocation ratios non-zero")
+	}
+}
+
+func TestAllocationEqualAndLess(t *testing.T) {
+	a := NewAllocation([]int{1, 3})
+	b := NewAllocation([]int{3, 1})
+	if !a.Equal(b) {
+		t.Fatal("(1,3) != (3,1) after sorting")
+	}
+	c := NewAllocation([]int{2, 2})
+	if c.Equal(a) {
+		t.Fatal("(2,2) == (1,3)")
+	}
+	if !a.Less(c) { // same count: (1,3) < (2,2) lexicographically
+		t.Fatal("(1,3) should sort before (2,2)")
+	}
+	d := NewAllocation([]int{1, 1})
+	if !d.Less(a) { // count 2 < count 4
+		t.Fatal("(1,1) should sort before (1,3)")
+	}
+}
+
+func TestFromTargets(t *testing.T) {
+	sim := simkernel.New()
+	net := simnet.New(sim)
+	sys, err := storagesim.NewSystem(net, storagesim.PlaFRIMConfig(), 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := []*storagesim.Target{
+		sys.TargetByID(101), sys.TargetByID(201), sys.TargetByID(202), sys.TargetByID(203),
+	}
+	a := FromTargets(targets, sys)
+	if a.String() != "(1,3)" {
+		t.Fatalf("allocation = %s, want (1,3)", a)
+	}
+}
+
+func TestFromPerHostMap(t *testing.T) {
+	a := FromPerHostMap(map[string]int{"oss2": 3, "oss1": 1}, 2)
+	if a.String() != "(1,3)" {
+		t.Fatalf("allocation = %s", a)
+	}
+	// Missing hosts padded with zero.
+	b := FromPerHostMap(map[string]int{"oss1": 2}, 2)
+	if b.String() != "(0,2)" {
+		t.Fatalf("allocation = %s, want (0,2)", b)
+	}
+}
+
+// Property: for any per-host vector, min <= max, count = sum, ratio in
+// [0,1], and String round-trips ordering.
+func TestAllocationProperties(t *testing.T) {
+	check := func(raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 6 {
+			return true
+		}
+		perHost := make([]int, len(raw))
+		for i, r := range raw {
+			perHost[i] = int(r % 9)
+		}
+		a := NewAllocation(perHost)
+		sum := 0
+		for _, c := range perHost {
+			sum += c
+		}
+		if a.Count() != sum {
+			return false
+		}
+		if a.Min() > a.Max() {
+			return false
+		}
+		r := a.BalanceRatio()
+		return r >= 0 && r <= 1
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundRobinDistributionPlaFRIM(t *testing.T) {
+	// PlaFRIM registration order: 101,201,202,203,204,102,103,104 —
+	// host indices 0,1,1,1,1,0,0,0.
+	order := []int{0, 1, 1, 1, 1, 0, 0, 0}
+	// Count 4: gcd(4,8)=4 -> cursors {0,4}: both (1,3).
+	dist, err := RoundRobinDistribution(order, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dist) != 1 || dist[0].Alloc.String() != "(1,3)" || dist[0].P != 1 {
+		t.Fatalf("count-4 distribution = %+v, want always (1,3)", dist)
+	}
+	// Count 2: cursors {0,2,4,6}: (1,1),(0,2),(1,1),(0,2).
+	dist, err = RoundRobinDistribution(order, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dist) != 2 {
+		t.Fatalf("count-2 classes = %+v", dist)
+	}
+	for _, ap := range dist {
+		if ap.P != 0.5 {
+			t.Fatalf("count-2 probabilities = %+v, want 50/50", dist)
+		}
+	}
+	// Count 8: always (4,4).
+	dist, err = RoundRobinDistribution(order, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dist) != 1 || !dist[0].Alloc.Balanced() {
+		t.Fatalf("count-8 = %+v", dist)
+	}
+	// Count 3: gcd(3,8)=1 -> all 8 cursors; mixes (1,2) and (0,3).
+	dist, err = RoundRobinDistribution(order, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dist) != 2 {
+		t.Fatalf("count-3 classes = %+v", dist)
+	}
+}
+
+func TestRoundRobinDistributionErrors(t *testing.T) {
+	if _, err := RoundRobinDistribution([]int{0, 1}, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := RoundRobinDistribution([]int{0, 1}, 3); err == nil {
+		t.Fatal("k>L accepted")
+	}
+}
+
+func TestRandomDistributionHypergeometric(t *testing.T) {
+	// 2 hosts x 4 targets, count 4: P(2,2) = 36/70, P(1,3 or 3,1) = 32/70,
+	// P(0,4 or 4,0) = 2/70.
+	dist, err := RandomDistribution([]int{4, 4}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]float64{}
+	total := 0.0
+	for _, ap := range dist {
+		byKey[ap.Alloc.Key()] = ap.P
+		total += ap.P
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Fatalf("probabilities sum to %v", total)
+	}
+	if p := byKey["(2,2)"]; p < 36.0/70-1e-9 || p > 36.0/70+1e-9 {
+		t.Fatalf("P(2,2) = %v, want %v", p, 36.0/70)
+	}
+	if p := byKey["(1,3)"]; p < 32.0/70-1e-9 || p > 32.0/70+1e-9 {
+		t.Fatalf("P(1,3) = %v, want %v", p, 32.0/70)
+	}
+	if p := byKey["(0,4)"]; p < 2.0/70-1e-9 || p > 2.0/70+1e-9 {
+		t.Fatalf("P(0,4) = %v, want %v", p, 2.0/70)
+	}
+}
+
+func TestRandomDistributionThreeHosts(t *testing.T) {
+	dist, err := RandomDistribution([]int{2, 2, 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, ap := range dist {
+		if ap.Alloc.Count() != 3 {
+			t.Fatalf("allocation %s has wrong count", ap.Alloc)
+		}
+		total += ap.P
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Fatalf("probabilities sum to %v", total)
+	}
+	// P(1,1,1) = 2*2*2 / C(6,3) = 8/20.
+	for _, ap := range dist {
+		if ap.Alloc.String() == "(1,1,1)" && (ap.P < 0.399 || ap.P > 0.401) {
+			t.Fatalf("P(1,1,1) = %v, want 0.4", ap.P)
+		}
+	}
+}
+
+func TestBalancedDistribution(t *testing.T) {
+	dist, err := BalancedDistribution(2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dist) != 1 || dist[0].Alloc.String() != "(3,3)" {
+		t.Fatalf("balanced count-6 = %+v", dist)
+	}
+	dist, err = BalancedDistribution(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist[0].Alloc.String() != "(2,3)" {
+		t.Fatalf("balanced count-5 = %+v", dist)
+	}
+	if _, err := BalancedDistribution(0, 2); err == nil {
+		t.Fatal("0 hosts accepted")
+	}
+}
+
+// Sampling cross-check: the analytic RoundRobinDistribution matches the
+// empirical frequency of the actual beegfs chooser (indirectly, via host
+// indices): 200 draws at count 6 give 50/50 (2,4) vs (3,3).
+func TestRoundRobinDistributionMatchesPaperCount6(t *testing.T) {
+	order := []int{0, 1, 1, 1, 1, 0, 0, 0}
+	dist, err := RoundRobinDistribution(order, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{"(2,4)": 0.5, "(3,3)": 0.5}
+	for _, ap := range dist {
+		if want[ap.Alloc.Key()] != ap.P {
+			t.Fatalf("count-6 distribution = %+v, want 50/50 (2,4)/(3,3)", dist)
+		}
+	}
+}

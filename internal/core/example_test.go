@@ -1,0 +1,64 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+// The paper's (min,max) notation for OST allocations (§IV-C, Figure 7).
+func ExampleAllocation() {
+	a := core.NewAllocation([]int{3, 1}) // 1 target on one server, 3 on the other
+	fmt.Println(a, "balanced:", a.Balanced(), "ratio:", a.BalanceRatio())
+	b := core.NewAllocation([]int{2, 2})
+	fmt.Println(b, "balanced:", b.Balanced(), "ratio:", b.BalanceRatio())
+	// Output:
+	// (1,3) balanced: false ratio: 0.3333333333333333
+	// (2,2) balanced: true ratio: 1
+}
+
+// Figure 9's arithmetic: with per-server links of capacity B, bandwidth is
+// B divided by the largest per-server data share.
+func ExampleNetworkLimitedBandwidth() {
+	b := 1100.0 // PlaFRIM's effective 10 GbE link
+	for _, perHost := range [][]int{{1, 1}, {1, 3}, {0, 2}} {
+		a := core.NewAllocation(perHost)
+		fmt.Printf("%s -> %.0f MiB/s\n", a, core.NetworkLimitedBandwidth(a, b))
+	}
+	// Output:
+	// (1,1) -> 2200 MiB/s
+	// (1,3) -> 1467 MiB/s
+	// (0,2) -> 1100 MiB/s
+}
+
+// The analytic model predicts the paper's headline numbers closed-form.
+func ExampleModel_Bandwidth() {
+	p := cluster.PlaFRIM(cluster.Scenario1Ethernet)
+	m := core.Model{FS: p.FS, ClientNIC: p.ClientNICCapacity}
+	// 8 nodes x 8 ppn, the Figure 6a geometry.
+	fmt.Printf("round-robin count 4 (1,3): %.0f MiB/s\n", m.Bandwidth(core.NewAllocation([]int{1, 3}), 8, 8))
+	fmt.Printf("count 8 (4,4):            %.0f MiB/s\n", m.Bandwidth(core.NewAllocation([]int{4, 4}), 8, 8))
+	// Output:
+	// round-robin count 4 (1,3): 1467 MiB/s
+	// count 8 (4,4):            2200 MiB/s
+}
+
+// The rotating round-robin chooser's allocation distribution on PlaFRIM's
+// registration order: stripe count 4 is ALWAYS (1,3) — §IV-C1's key
+// observation.
+func ExampleRoundRobinDistribution() {
+	order := []int{0, 1, 1, 1, 1, 0, 0, 0} // 101,201,202,203,204,102,103,104
+	for _, k := range []int{2, 4, 8} {
+		dist, _ := core.RoundRobinDistribution(order, k)
+		fmt.Printf("count %d:", k)
+		for _, ap := range dist {
+			fmt.Printf(" %s p=%.2f", ap.Alloc, ap.P)
+		}
+		fmt.Println()
+	}
+	// Output:
+	// count 2: (0,2) p=0.50 (1,1) p=0.50
+	// count 4: (1,3) p=1.00
+	// count 8: (4,4) p=1.00
+}

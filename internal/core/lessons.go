@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Verdict is a programmatic check of one of the paper's seven "lessons
+// learned" against measured data.
+type Verdict struct {
+	Lesson  int
+	Holds   bool
+	Detail  string
+	Metrics map[string]float64
+}
+
+func verdict(lesson int, holds bool, format string, args ...any) Verdict {
+	return Verdict{Lesson: lesson, Holds: holds, Detail: fmt.Sprintf(format, args...), Metrics: map[string]float64{}}
+}
+
+// Lesson1 — "the number of compute nodes can limit I/O performance
+// regardless of the network speed": the node sweep must rise from its
+// 1-node value to a materially higher plateau in BOTH scenarios, with a
+// heavier impact in the storage-limited one (paper: +64% vs +270%).
+// byNodesS1/byNodesS2 map node counts to mean bandwidth.
+func Lesson1(byNodesS1, byNodesS2 map[int]float64) Verdict {
+	g1 := sweepGain(byNodesS1)
+	g2 := sweepGain(byNodesS2)
+	v := verdict(1, g1 > 0.25 && g2 > 1.0 && g2 > g1,
+		"node-count gain: scenario1 +%.0f%%, scenario2 +%.0f%% (paper: +64%%, +270%%)", g1*100, g2*100)
+	v.Metrics["gain_s1"] = g1
+	v.Metrics["gain_s2"] = g2
+	return v
+}
+
+func sweepGain(byNodes map[int]float64) float64 {
+	if len(byNodes) == 0 {
+		return 0
+	}
+	minN := 0
+	var first, best float64
+	for n := range byNodes {
+		if minN == 0 || n < minN {
+			minN = n
+		}
+	}
+	first = byNodes[minN]
+	for _, bw := range byNodes {
+		if bw > best {
+			best = bw
+		}
+	}
+	if first == 0 {
+		return 0
+	}
+	return best/first - 1
+}
+
+// Lesson2 — finding the node plateau must precede parameter studies: the
+// plateau node count must exceed the minimum tested, i.e. a 1-node (or
+// smallest) evaluation underestimates achievable bandwidth by a material
+// margin.
+func Lesson2(byNodes map[int]float64) Verdict {
+	g := sweepGain(byNodes)
+	v := verdict(2, g > 0.25,
+		"evaluating at the smallest node count hides %.0f%% of achievable bandwidth", g*100)
+	v.Metrics["hidden_fraction"] = g
+	return v
+}
+
+// Lesson3 — nodes and processes-per-node have independent effects:
+// doubling ppn at fixed nodes must NOT reproduce the gain of doubling
+// nodes at fixed ppn. ratioPpn = BW(N, 2p)/BW(N, p); ratioNodes =
+// BW(2N, p)/BW(N, p), measured below the plateau.
+func Lesson3(ratioPpn, ratioNodes float64) Verdict {
+	v := verdict(3, ratioPpn < 1.1 && ratioNodes > ratioPpn+0.1,
+		"doubling ppn changes bandwidth x%.2f while doubling nodes changes it x%.2f", ratioPpn, ratioNodes)
+	v.Metrics["ratio_ppn"] = ratioPpn
+	v.Metrics["ratio_nodes"] = ratioNodes
+	return v
+}
+
+// Lesson4 — scenario 1: bandwidth is ordered by the allocation's min/max
+// balance ratio, not by the target count; balanced allocations reach the
+// peak. byAlloc maps allocations to bandwidth samples.
+func Lesson4(byAlloc map[string][]float64, allocs map[string]Allocation) Verdict {
+	type row struct {
+		ratio float64
+		mean  float64
+		count int
+	}
+	var rows []row
+	for key, samples := range byAlloc {
+		a, ok := allocs[key]
+		if !ok || len(samples) == 0 {
+			continue
+		}
+		rows = append(rows, row{ratio: a.BalanceRatio(), mean: stats.Mean(samples), count: a.Count()})
+	}
+	if len(rows) < 3 {
+		return verdict(4, false, "not enough allocation classes (%d)", len(rows))
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].ratio < rows[j].ratio })
+	// Mean bandwidth must be nondecreasing in balance ratio (2% slack),
+	// independent of count.
+	holds := true
+	for i := 1; i < len(rows); i++ {
+		if rows[i].ratio > rows[i-1].ratio && rows[i].mean < rows[i-1].mean*0.98 {
+			holds = false
+		}
+	}
+	v := verdict(4, holds, "bandwidth ordered by min/max ratio across %d allocation classes", len(rows))
+	v.Metrics["classes"] = float64(len(rows))
+	return v
+}
+
+// Lesson5 — summarizing by mean hides behaviour: at least one stripe
+// count must show a bimodal bandwidth distribution whose mean sits in the
+// sparse valley between the modes. byCount maps stripe counts to samples.
+func Lesson5(byCount map[int][]float64) Verdict {
+	for count, samples := range byCount {
+		if !stats.Bimodal(samples) {
+			continue
+		}
+		m := stats.Mean(samples)
+		// The mean is "misleading" if <20% of samples fall within 5% of it.
+		near := 0
+		for _, s := range samples {
+			if s > 0.95*m && s < 1.05*m {
+				near++
+			}
+		}
+		if float64(near) < 0.2*float64(len(samples)) {
+			v := verdict(5, true,
+				"stripe count %d is bimodal: only %d/%d samples lie near the mean %.0f", count, near, len(samples), m)
+			v.Metrics["count"] = float64(count)
+			return v
+		}
+	}
+	return verdict(5, false, "no bimodal count found whose mean misrepresents the data")
+}
+
+// Lesson6 — scenario 2: more OSTs means more bandwidth (contradicting
+// Chowdhury et al.), and balanced placements still win at equal count.
+// meansByCount maps stripe count to mean bandwidth; balanced/unbalanced
+// are same-count means (e.g. (3,3) vs (2,4)); zero values skip the check.
+func Lesson6(meansByCount map[int]float64, balanced, unbalanced float64) Verdict {
+	counts := make([]int, 0, len(meansByCount))
+	for c := range meansByCount {
+		counts = append(counts, c)
+	}
+	sort.Ints(counts)
+	monotone := true
+	for i := 1; i < len(counts); i++ {
+		if meansByCount[counts[i]] < meansByCount[counts[i-1]]*0.98 {
+			monotone = false
+		}
+	}
+	placement := balanced == 0 || unbalanced == 0 || balanced > unbalanced
+	v := verdict(6, monotone && placement,
+		"bandwidth monotone over %d counts; balanced/unbalanced = %.3f (paper: 1.10)",
+		len(counts), safeRatio(balanced, unbalanced))
+	v.Metrics["balanced_ratio"] = safeRatio(balanced, unbalanced)
+	return v
+}
+
+func safeRatio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// Lesson7 — sharing OSTs does not significantly impact performance: the
+// Welch t-test between "apps share all targets" and "apps share none"
+// must not reject equal means (paper: p = 0.9031).
+func Lesson7(shareAll, shareNone []float64) Verdict {
+	res, err := stats.WelchT(shareAll, shareNone)
+	if err != nil {
+		return verdict(7, false, "t-test failed: %v", err)
+	}
+	v := verdict(7, res.P > 0.05,
+		"Welch t-test share-all vs share-none: t=%.3f df=%.1f p=%.4f (paper: p=0.9031)", res.T, res.DF, res.P)
+	v.Metrics["p"] = res.P
+	v.Metrics["t"] = res.T
+	return v
+}

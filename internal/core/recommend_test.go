@@ -1,0 +1,310 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+var plafrimHostOrder = []int{0, 1, 1, 1, 1, 0, 0, 0}
+
+// The paper's headline recommendation: on PlaFRIM, the default stripe
+// count should be the maximum (8), in both scenarios.
+func TestRecommendMaxCountScenario1(t *testing.T) {
+	m := modelFor(cluster.Scenario1Ethernet)
+	rec, err := Recommend(m, plafrimHostOrder, "roundrobin", 4, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.BestCount != 8 {
+		t.Fatalf("BestCount = %d, want 8 (lesson 4)", rec.BestCount)
+	}
+	// §I: "We estimate that change will transparently increase I/O
+	// performance of applications by up to 40%." Count 4 -> 8 on the
+	// model: 2200/1467 - 1 = 50%; the paper's 40% is the cross-scenario
+	// lower estimate. Accept 0.3..0.6.
+	if rec.Gain < 0.3 || rec.Gain > 0.6 {
+		t.Fatalf("gain over default = %.0f%%, want 30-60%% (paper: up to 40%%)", rec.Gain*100)
+	}
+}
+
+func TestRecommendMaxCountScenario2(t *testing.T) {
+	m := modelFor(cluster.Scenario2Omnipath)
+	rec, err := Recommend(m, plafrimHostOrder, "roundrobin", 4, 32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.BestCount != 8 {
+		t.Fatalf("BestCount = %d, want 8 (lesson 6)", rec.BestCount)
+	}
+	if rec.Gain <= 0 {
+		t.Fatalf("gain = %v, want positive", rec.Gain)
+	}
+}
+
+// Figure 6a's bimodality signature: counts 2, 3, 5, 6 are flagged bimodal
+// under round-robin in scenario 1; 1, 4, 7, 8 are not.
+func TestRecommendBimodalCountsScenario1(t *testing.T) {
+	m := modelFor(cluster.Scenario1Ethernet)
+	rec, err := Recommend(m, plafrimHostOrder, "roundrobin", 4, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBimodal := map[int]bool{1: false, 2: true, 3: true, 4: false, 5: true, 6: true, 7: false, 8: false}
+	for _, e := range rec.PerCount {
+		if e.Bimodal != wantBimodal[e.Count] {
+			t.Errorf("count %d: bimodal = %v, want %v", e.Count, e.Bimodal, wantBimodal[e.Count])
+		}
+	}
+}
+
+// With the random chooser, count 4 becomes high-variance: best (2,2) hits
+// the peak, worst (0,4) hits one link (§IV-C1's "best case as likely as
+// the worst case" discussion).
+func TestRecommendRandomChooserCount4Spread(t *testing.T) {
+	m := modelFor(cluster.Scenario1Ethernet)
+	rec, err := Recommend(m, plafrimHostOrder, "random", 4, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := rec.PerCount[3] // count 4
+	if !almost(e.Best, 2200, 60) {
+		t.Fatalf("random count-4 best = %v, want ~2200 (the (2,2) case)", e.Best)
+	}
+	if !almost(e.Worst, 1100, 40) {
+		t.Fatalf("random count-4 worst = %v, want ~1100 (the (0,4) case)", e.Worst)
+	}
+	if rec.BestCount != 8 {
+		t.Fatalf("random chooser best count = %d, want 8", rec.BestCount)
+	}
+}
+
+// The balanced chooser removes the count-8 advantage at even counts: 2,
+// 4, 6, 8 all reach the scenario-1 peak.
+func TestRecommendBalancedChooserScenario1(t *testing.T) {
+	m := modelFor(cluster.Scenario1Ethernet)
+	rec, err := Recommend(m, plafrimHostOrder, "balanced", 4, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{2, 4, 6, 8} {
+		e := rec.PerCount[k-1]
+		if !almost(e.Mean, 2200, 60) {
+			t.Fatalf("balanced count %d mean = %v, want ~2200", k, e.Mean)
+		}
+		if e.Bimodal {
+			t.Fatalf("balanced count %d flagged bimodal", k)
+		}
+	}
+}
+
+func TestRecommendErrors(t *testing.T) {
+	m := modelFor(cluster.Scenario1Ethernet)
+	if _, err := Recommend(m, nil, "roundrobin", 4, 8, 8); err == nil {
+		t.Fatal("empty order accepted")
+	}
+	if _, err := Recommend(m, plafrimHostOrder, "mystery", 4, 8, 8); err == nil {
+		t.Fatal("unknown chooser accepted")
+	}
+}
+
+// The adaptive-policy question from §I: would adapting each application's
+// stripe count beat "always use max"? With the model, max-count mean is
+// within a whisker of the best per-allocation outcome at every count, so
+// the answer is no — the policy head-room is ~0.
+func TestAdaptivePolicyHeadroom(t *testing.T) {
+	m := modelFor(cluster.Scenario2Omnipath)
+	rec, err := Recommend(m, plafrimHostOrder, "roundrobin", 4, 32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxMean := rec.PerCount[7].Mean
+	bestAny := 0.0
+	for _, e := range rec.PerCount {
+		if e.Best > bestAny {
+			bestAny = e.Best
+		}
+	}
+	if headroom := bestAny/maxMean - 1; headroom > 0.05 {
+		t.Fatalf("adaptive policy headroom = %.1f%%, expected <5%%", headroom*100)
+	}
+}
+
+func TestLesson1Verdict(t *testing.T) {
+	s1 := map[int]float64{1: 880, 2: 1270, 4: 1450, 8: 1460}
+	s2 := map[int]float64{1: 1631, 4: 3500, 16: 6100, 32: 6100}
+	v := Lesson1(s1, s2)
+	if !v.Holds {
+		t.Fatalf("lesson 1 should hold on paper-like data: %s", v.Detail)
+	}
+	// Flat sweeps must fail it.
+	flat := map[int]float64{1: 1000, 8: 1010}
+	if Lesson1(flat, flat).Holds {
+		t.Fatal("lesson 1 held on flat data")
+	}
+	if Lesson1(nil, nil).Holds {
+		t.Fatal("lesson 1 held on empty data")
+	}
+}
+
+func TestLesson2Verdict(t *testing.T) {
+	if !Lesson2(map[int]float64{1: 880, 8: 1460}).Holds {
+		t.Fatal("lesson 2 should hold")
+	}
+	if Lesson2(map[int]float64{4: 1450, 8: 1460}).Holds {
+		t.Fatal("lesson 2 held when the sweep was already at plateau")
+	}
+}
+
+func TestLesson3Verdict(t *testing.T) {
+	if !Lesson3(1.0, 1.6).Holds {
+		t.Fatal("lesson 3 should hold when ppn is flat but nodes help")
+	}
+	if Lesson3(1.6, 1.6).Holds {
+		t.Fatal("lesson 3 held when ppn doubled bandwidth")
+	}
+}
+
+func TestLesson4Verdict(t *testing.T) {
+	mk := func(vals ...float64) []float64 { return vals }
+	byAlloc := map[string][]float64{
+		"(0,1)": mk(1100, 1090, 1110),
+		"(0,2)": mk(1105, 1095),
+		"(1,3)": mk(1460, 1470),
+		"(1,2)": mk(1650, 1640),
+		"(2,4)": mk(1655, 1660),
+		"(1,1)": mk(2200, 2190),
+		"(4,4)": mk(2210, 2195),
+	}
+	allocs := map[string]Allocation{
+		"(0,1)": NewAllocation([]int{0, 1}),
+		"(0,2)": NewAllocation([]int{0, 2}),
+		"(1,3)": NewAllocation([]int{1, 3}),
+		"(1,2)": NewAllocation([]int{1, 2}),
+		"(2,4)": NewAllocation([]int{2, 4}),
+		"(1,1)": NewAllocation([]int{1, 1}),
+		"(4,4)": NewAllocation([]int{4, 4}),
+	}
+	if v := Lesson4(byAlloc, allocs); !v.Holds {
+		t.Fatalf("lesson 4 should hold: %s", v.Detail)
+	}
+	// Break the ordering: make (1,1) slow.
+	byAlloc["(1,1)"] = mk(900, 910)
+	if Lesson4(byAlloc, allocs).Holds {
+		t.Fatal("lesson 4 held with broken ordering")
+	}
+	if Lesson4(map[string][]float64{"(1,1)": mk(1)}, allocs).Holds {
+		t.Fatal("lesson 4 held with too few classes")
+	}
+}
+
+func TestLesson5Verdict(t *testing.T) {
+	src := rng.New(5)
+	bimodal := make([]float64, 0, 100)
+	for i := 0; i < 50; i++ {
+		bimodal = append(bimodal, src.Normal(1100, 20))
+	}
+	for i := 0; i < 50; i++ {
+		bimodal = append(bimodal, src.Normal(2200, 20))
+	}
+	uni := make([]float64, 100)
+	for i := range uni {
+		uni[i] = src.Normal(1460, 30)
+	}
+	v := Lesson5(map[int][]float64{2: bimodal, 4: uni})
+	if !v.Holds {
+		t.Fatalf("lesson 5 should hold: %s", v.Detail)
+	}
+	if Lesson5(map[int][]float64{4: uni}).Holds {
+		t.Fatal("lesson 5 held without a bimodal count")
+	}
+}
+
+func TestLesson6Verdict(t *testing.T) {
+	means := map[int]float64{1: 1764, 2: 3000, 4: 4500, 8: 8000}
+	if v := Lesson6(means, 6788, 6048); !v.Holds {
+		t.Fatalf("lesson 6 should hold: %v", v.Detail)
+	}
+	if Lesson6(map[int]float64{1: 1764, 4: 1700, 8: 1750}, 6788, 6048).Holds {
+		t.Fatal("lesson 6 held on flat counts")
+	}
+	if Lesson6(means, 6048, 6788).Holds {
+		t.Fatal("lesson 6 held with unbalanced beating balanced")
+	}
+}
+
+func TestLesson7Verdict(t *testing.T) {
+	src := rng.New(6)
+	shareAll := make([]float64, 60)
+	shareNone := make([]float64, 60)
+	for i := range shareAll {
+		shareAll[i] = src.Normal(3000, 200)
+		shareNone[i] = src.Normal(3000, 200)
+	}
+	v := Lesson7(shareAll, shareNone)
+	if !v.Holds {
+		t.Fatalf("lesson 7 should hold for identical populations: %s", v.Detail)
+	}
+	if v.Metrics["p"] <= 0.05 {
+		t.Fatalf("p = %v", v.Metrics["p"])
+	}
+	for i := range shareAll {
+		shareAll[i] = src.Normal(2000, 100)
+	}
+	if Lesson7(shareAll, shareNone).Holds {
+		t.Fatal("lesson 7 held with clearly different populations")
+	}
+	if Lesson7(nil, nil).Holds {
+		t.Fatal("lesson 7 held on empty data")
+	}
+}
+
+// Sanity link between Welch usage here and the stats package contract.
+func TestLessonStatsIntegration(t *testing.T) {
+	a := []float64{1, 2, 3}
+	if _, err := stats.WelchT(a, a); err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(stats.Mean(a)) {
+		t.Fatal("mean NaN")
+	}
+}
+
+func TestSensitivityBeta(t *testing.T) {
+	m := modelFor(cluster.Scenario2Omnipath)
+	pts := SensitivityBeta(m, []float64{0.4, 0.596, 0.8, 1.0}, 32, 8)
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Higher beta = less coupling = steeper count scaling (monotone),
+	// until the client ramp caps the top end.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Metric < pts[i-1].Metric-1e-9 {
+			t.Fatalf("ratio not nondecreasing in beta: %+v", pts)
+		}
+	}
+	// The calibrated beta lands near the paper's 8064/1764 = 4.57.
+	if pts[1].Metric < 3.8 || pts[1].Metric > 4.8 {
+		t.Fatalf("calibrated ratio = %v, want ~4.4", pts[1].Metric)
+	}
+}
+
+func TestSensitivityClientGamma(t *testing.T) {
+	m := modelFor(cluster.Scenario2Omnipath)
+	pts := SensitivityClientGamma(m, []float64{0.3, 0.45, 0.7}, 8, 64)
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// A steeper ramp (higher gamma) reaches the ceiling with fewer nodes.
+	if !(pts[0].Metric >= pts[1].Metric && pts[1].Metric >= pts[2].Metric) {
+		t.Fatalf("plateau position not decreasing in gamma: %+v", pts)
+	}
+	// The calibrated gamma keeps the count-8 plateau in the paper's
+	// 16-64 node range.
+	if pts[1].Metric < 16 || pts[1].Metric > 64 {
+		t.Fatalf("calibrated plateau = %v nodes, want 16-64", pts[1].Metric)
+	}
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExtNN(t *testing.T) {
+	rows, err := ExtNN(Options{Reps: 4, Seed: 1, FastProtocol: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// With an unconstrained MDS, N-N tracks N-1 within 15% (same
+		// striping math, slightly different chooser state).
+		ratio := r.PerProcMean / r.SharedMean
+		if ratio < 0.8 || ratio > 1.2 {
+			t.Errorf("%dx%d: N-N/N-1 = %v, want ~1", r.Nodes, r.PPN, ratio)
+		}
+		// The rate-limited MDS costs N-N bandwidth, more at larger scale.
+		if r.PerProcLimitedMean >= r.PerProcMean {
+			t.Errorf("%dx%d: MDS limit did not slow N-N (%v vs %v)", r.Nodes, r.PPN, r.PerProcLimitedMean, r.PerProcMean)
+		}
+	}
+	// Metadata toll grows with process count: 16x16 loses more than 4x8.
+	lossSmall := 1 - rows[0].PerProcLimitedMean/rows[0].PerProcMean
+	lossBig := 1 - rows[3].PerProcLimitedMean/rows[3].PerProcMean
+	if lossBig <= lossSmall {
+		t.Fatalf("metadata toll not growing with scale: %.1f%% -> %.1f%%", lossSmall*100, lossBig*100)
+	}
+}
+
+func TestExtRead(t *testing.T) {
+	rows, err := ExtRead(Options{Reps: 20, Seed: 2, FastProtocol: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// Symmetric service model: read within 10% of write (reads skip
+		// the setup overhead, so slightly faster).
+		ratio := r.ReadMean / r.WriteMean
+		if ratio < 0.9 || ratio > 1.15 {
+			t.Errorf("count %d: read/write = %v, want ~1", r.Count, ratio)
+		}
+		// The Figure 6a bimodality carries over to reads (the allocation
+		// is a property of the file, not the direction).
+		if r.WriteBimodal != r.ReadBimodal {
+			t.Errorf("count %d: bimodality differs between write (%v) and read (%v)",
+				r.Count, r.WriteBimodal, r.ReadBimodal)
+		}
+	}
+	// Count-8 reads reach the same peak as writes.
+	if math.Abs(rows[7].ReadMean-rows[7].WriteMean)/rows[7].WriteMean > 0.1 {
+		t.Fatalf("count-8 read %v vs write %v", rows[7].ReadMean, rows[7].WriteMean)
+	}
+}

@@ -1,0 +1,308 @@
+// Package experiments implements the paper's experimental campaign: the
+// randomized execution protocol of §III-C, concurrent-application runs
+// (§IV-D, Equation 1) and the per-figure experiment definitions that
+// regenerate every quantitative figure of the evaluation.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ior"
+	"repro/internal/rng"
+	"repro/internal/simkernel"
+)
+
+// Protocol is the §III-C execution protocol:
+//
+//  1. generate a list of all benchmark runs (Repetitions per experiment);
+//  2. divide the list into blocks of BlockSize executions;
+//  3. execute the blocks in random order, one run at a time;
+//  4. impose a random wait (MinWait..MaxWait seconds of virtual time)
+//     between blocks.
+//
+// Randomized block order and inter-block waits decorrelate repetitions
+// from transient system state; in the simulator, the "system state" is the
+// per-run capacity jitter redrawn by ReJitter.
+type Protocol struct {
+	Repetitions int
+	BlockSize   int
+	MinWait     float64 // seconds
+	MaxWait     float64
+	Seed        uint64
+}
+
+// DefaultProtocol reproduces the paper: 100 repetitions, blocks of 10,
+// waits of 1-30 minutes.
+func DefaultProtocol(seed uint64) Protocol {
+	return Protocol{Repetitions: 100, BlockSize: 10, MinWait: 60, MaxWait: 1800, Seed: seed}
+}
+
+// Validate reports protocol errors.
+func (p Protocol) Validate() error {
+	if p.Repetitions <= 0 {
+		return fmt.Errorf("experiments: Repetitions must be positive")
+	}
+	if p.BlockSize <= 0 {
+		return fmt.Errorf("experiments: BlockSize must be positive")
+	}
+	if p.MinWait < 0 || p.MaxWait < p.MinWait {
+		return fmt.Errorf("experiments: bad wait range [%v,%v]", p.MinWait, p.MaxWait)
+	}
+	return nil
+}
+
+// Config is one experiment: an IOR parameter set, optionally run as
+// several concurrent applications on disjoint node sets.
+type Config struct {
+	Label string
+	// Params describes ONE application's workload. With Apps > 1, each
+	// application runs these parameters on its own Params.Nodes nodes.
+	Params ior.Params
+	// Apps is the number of concurrent applications (default 1).
+	Apps int
+}
+
+func (c Config) apps() int {
+	if c.Apps <= 0 {
+		return 1
+	}
+	return c.Apps
+}
+
+// AppResult is one application's outcome within a (possibly concurrent)
+// run.
+type AppResult struct {
+	App    string
+	Result ior.Result
+	Alloc  core.Allocation
+}
+
+// Record is one repetition's outcome.
+type Record struct {
+	Label string
+	Rep   int
+	// Apps holds each application's result (one entry for single-app
+	// experiments).
+	Apps []AppResult
+	// Aggregate is the Equation-1 aggregate bandwidth:
+	// sum(vol_i) / (max(end_i) - min(start_i)). For a single application
+	// it equals the IOR-reported bandwidth.
+	Aggregate float64
+	// SharedTargets is the number of storage targets used by more than
+	// one application (0 for single-app runs).
+	SharedTargets int
+}
+
+// Bandwidth returns the single-app bandwidth (first app's) — a
+// convenience for single-application campaigns.
+func (r Record) Bandwidth() float64 {
+	if len(r.Apps) == 0 {
+		return 0
+	}
+	return r.Apps[0].Result.Bandwidth
+}
+
+// Alloc returns the first app's allocation.
+func (r Record) Alloc() core.Allocation {
+	if len(r.Apps) == 0 {
+		return core.Allocation{}
+	}
+	return r.Apps[0].Alloc
+}
+
+// Campaign executes experiments on a deployment under a protocol.
+type Campaign struct {
+	Dep   *cluster.Deployment
+	Proto Protocol
+	// Interference, when non-nil, injects transient capacity-loss events
+	// (§III-C item ii) with the configured probability per repetition.
+	Interference *Interference
+	// BackgroundCreateRate, when positive, emulates other users of the
+	// production system creating files (at this rate per second of
+	// virtual time) while an experiment's applications are opening
+	// theirs. Each creation advances the round-robin chooser's cursor, so
+	// two concurrent applications can land on overlapping target sets —
+	// without it, back-to-back creations at stripe count 4 on PlaFRIM's
+	// 8-target cycle are always complementary and never share (§IV-D).
+	BackgroundCreateRate float64
+}
+
+var bgSeq int
+
+// Run executes the full randomized campaign and returns one Record per
+// (experiment, repetition), in completion order.
+func (c Campaign) Run(cfgs []Config) ([]Record, error) {
+	if err := c.Proto.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("experiments: no configurations")
+	}
+	src := rng.New(c.Proto.Seed)
+	// Step 1: the full run list, per experiment.
+	type unit struct {
+		cfg int
+		rep int
+	}
+	var list []unit
+	for ci := range cfgs {
+		for rep := 0; rep < c.Proto.Repetitions; rep++ {
+			list = append(list, unit{cfg: ci, rep: rep})
+		}
+	}
+	// Step 2: blocks of BlockSize.
+	var blocks [][]unit
+	for start := 0; start < len(list); start += c.Proto.BlockSize {
+		end := start + c.Proto.BlockSize
+		if end > len(list) {
+			end = len(list)
+		}
+		blocks = append(blocks, list[start:end])
+	}
+	// Step 3: random block order.
+	order := src.Perm(len(blocks))
+	var out []Record
+	for bi, oi := range order {
+		for _, u := range blocks[oi] {
+			rec, err := c.runOnce(cfgs[u.cfg], u.rep, src)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, rec)
+		}
+		// Step 4: random wait between blocks (not after the last).
+		if bi < len(order)-1 && c.Proto.MaxWait > 0 {
+			wait := src.UniformRange(c.Proto.MinWait, c.Proto.MaxWait)
+			if err := c.Dep.Sim.RunUntil(c.Dep.Sim.Now() + simkernel.Time(wait)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// runOnce executes one repetition: redraw system state, then run the
+// experiment's application(s) concurrently and gather Equation 1.
+func (c Campaign) runOnce(cfg Config, rep int, src *rng.Source) (Record, error) {
+	c.Dep.ReJitter(src)
+	if c.Interference != nil {
+		if err := c.Interference.Validate(); err != nil {
+			return Record{}, err
+		}
+		c.Interference.arm(c, src.Split(uint64(rep)*613+11))
+	}
+	apps := cfg.apps()
+	nodesPerApp := cfg.Params.Nodes
+	nodes := c.Dep.Nodes(apps * nodesPerApp)
+	rec := Record{Label: cfg.Label, Rep: rep}
+
+	runs := make([]*ior.Run, apps)
+	remaining := apps
+	for a := 0; a < apps; a++ {
+		p := cfg.Params
+		p.SetupMean = c.Dep.Platform.SetupMean
+		p.SetupCV = c.Dep.Platform.SetupCV
+		p.App = fmt.Sprintf("%s/app%d", cfg.Label, a+1)
+		p.Path = fmt.Sprintf("/%s/app%d/data", cfg.Label, a+1)
+		slice := nodes[a*nodesPerApp : (a+1)*nodesPerApp]
+		run, err := ior.Start(c.Dep.FS, slice, p, src.Split(uint64(rep*37+a)), func(ior.Result) { remaining-- })
+		if err != nil {
+			return Record{}, err
+		}
+		runs[a] = run
+	}
+	sim := c.Dep.Sim
+	if c.BackgroundCreateRate > 0 {
+		// Other users' metadata traffic during the window in which the
+		// experiment's applications create their files (~the setup phase).
+		bgSrc := src.Split(uint64(rep)*101 + 7)
+		for t := bgSrc.Exp(1 / c.BackgroundCreateRate); t < 1.0; t += bgSrc.Exp(1 / c.BackgroundCreateRate) {
+			bgSeq++
+			path := fmt.Sprintf("/background/f%08d", bgSeq)
+			sim.After(t, func() {
+				// Ignore errors: a duplicate path or exhausted target set
+				// only means this background create is a no-op.
+				_, _ = c.Dep.FS.Create(path, bgSrc)
+			})
+		}
+	}
+	for remaining > 0 {
+		if !sim.Step() {
+			return Record{}, fmt.Errorf("experiments: simulation drained with %d apps pending", remaining)
+		}
+	}
+	// Gather results, Equation 1 and target sharing.
+	var volSum float64
+	var minStart, maxEnd simkernel.Time
+	targetUse := make(map[int]int)
+	for a, run := range runs {
+		res := run.Result()
+		ar := AppResult{
+			App:    res.Params.App,
+			Result: res,
+			Alloc:  core.FromPerHostMap(res.PerHost, c.Dep.Platform.FS.Hosts),
+		}
+		rec.Apps = append(rec.Apps, ar)
+		volSum += float64(res.Params.TotalBytes()) / float64(1<<20)
+		if a == 0 || res.Start < minStart {
+			minStart = res.Start
+		}
+		if res.End > maxEnd {
+			maxEnd = res.End
+		}
+		seen := make(map[int]bool)
+		for _, id := range res.TargetIDs {
+			if !seen[id] {
+				seen[id] = true
+				targetUse[id]++
+			}
+		}
+	}
+	for _, n := range targetUse {
+		if n > 1 {
+			rec.SharedTargets++
+		}
+	}
+	if maxEnd > minStart {
+		rec.Aggregate = volSum / float64(maxEnd-minStart)
+	}
+	// Clean up the benchmark files (as IOR does by default) so campaigns
+	// of hundreds of 32 GiB repetitions do not fill the storage targets.
+	for _, run := range runs {
+		for _, path := range run.Result().Paths {
+			if err := c.Dep.FS.Remove(path); err != nil {
+				return Record{}, fmt.Errorf("experiments: cleanup of %q failed: %w", path, err)
+			}
+		}
+	}
+	return rec, nil
+}
+
+// GroupByLabel indexes records by experiment label.
+func GroupByLabel(recs []Record) map[string][]Record {
+	out := make(map[string][]Record)
+	for _, r := range recs {
+		out[r.Label] = append(out[r.Label], r)
+	}
+	return out
+}
+
+// Bandwidths extracts single-app bandwidths from a record set.
+func Bandwidths(recs []Record) []float64 {
+	out := make([]float64, 0, len(recs))
+	for _, r := range recs {
+		out = append(out, r.Bandwidth())
+	}
+	return out
+}
+
+// Aggregates extracts Equation-1 aggregates from a record set.
+func Aggregates(recs []Record) []float64 {
+	out := make([]float64, 0, len(recs))
+	for _, r := range recs {
+		out = append(out, r.Aggregate)
+	}
+	return out
+}

@@ -1,0 +1,33 @@
+package ior_test
+
+import (
+	"fmt"
+
+	"repro/internal/beegfs"
+	"repro/internal/cluster"
+	"repro/internal/ior"
+)
+
+// The paper's core experiment as three calls: deploy PlaFRIM, build the
+// IOR invocation (8 nodes x 8 ppn, 32 GiB shared file, 1 MiB transfers),
+// execute. Deterministic platform (no jitter source) for a stable output.
+func ExampleExecute() {
+	dep, err := cluster.PlaFRIM(cluster.Scenario1Ethernet).Deploy()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	params := ior.Params{
+		Nodes: 8, PPN: 8,
+		TransferSize: 1 * beegfs.MiB,
+		StripeCount:  4, // PlaFRIM's default -> always a (1,3) allocation
+	}.WithTotalSize(32 * beegfs.GiB)
+	res, err := ior.Execute(dep.FS, dep.Nodes(8), params, nil)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%.0f MiB/s on targets %v\n", res.Bandwidth, res.TargetIDs)
+	// Output:
+	// 1465 MiB/s on targets [101 201 202 203]
+}

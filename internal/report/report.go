@@ -1,0 +1,284 @@
+// Package report renders experiment results as aligned text tables, CSV
+// files and ASCII plots — the repo's stand-ins for the paper's figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple column-aligned table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v, floats with %.1f.
+func (t *Table) AddRow(values ...any) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = trimFloat(x)
+		case float32:
+			row[i] = trimFloat(float64(x))
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func trimFloat(x float64) string {
+	if math.IsNaN(x) {
+		return "NaN"
+	}
+	if x == math.Trunc(x) && math.Abs(x) < 1e12 {
+		return fmt.Sprintf("%.0f", x)
+	}
+	if math.Abs(x) >= 100 {
+		return fmt.Sprintf("%.1f", x)
+	}
+	return fmt.Sprintf("%.3f", x)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// WriteTo renders the table as aligned text.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	if _, err := t.WriteTo(&b); err != nil {
+		return fmt.Sprintf("report: %v", err)
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180-ish CSV (quotes cells containing
+// commas, quotes or newlines).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Bars renders a horizontal ASCII bar chart: one labelled bar per value,
+// scaled to width characters at the maximum.
+func Bars(labels []string, values []float64, width int) string {
+	if len(labels) != len(values) || len(labels) == 0 || width <= 0 {
+		return ""
+	}
+	maxV := values[0]
+	maxL := 0
+	for i, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if len(labels[i]) > maxL {
+			maxL = len(labels[i])
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	var b strings.Builder
+	for i, v := range values {
+		n := int(math.Round(v / maxV * float64(width)))
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&b, "%-*s |%s %s\n", maxL, labels[i], strings.Repeat("#", n), trimFloat(v))
+	}
+	return b.String()
+}
+
+// BoxRow renders one boxplot line ("|--[==|==]--|") scaled into
+// [lo, hi] over width characters, for the Figure 8/10 reproductions.
+func BoxRow(min, q1, median, q3, max, lo, hi float64, width int) string {
+	if width < 10 || hi <= lo {
+		return ""
+	}
+	pos := func(v float64) int {
+		p := int((v - lo) / (hi - lo) * float64(width-1))
+		if p < 0 {
+			p = 0
+		}
+		if p >= width {
+			p = width - 1
+		}
+		return p
+	}
+	row := []byte(strings.Repeat(" ", width))
+	for i := pos(min); i <= pos(max); i++ {
+		row[i] = '-'
+	}
+	for i := pos(q1); i <= pos(q3); i++ {
+		row[i] = '='
+	}
+	row[pos(min)] = '|'
+	row[pos(max)] = '|'
+	row[pos(q1)] = '['
+	row[pos(q3)] = ']'
+	row[pos(median)] = 'O'
+	return string(row)
+}
+
+// Scatter renders an x/y scatter plot as ASCII (the paper's Figure 6 dot
+// clouds). Points are binned into a w x h character grid; denser cells get
+// darker marks. Returns "" for empty or degenerate input.
+func Scatter(xs, ys []float64, w, h int) string {
+	if len(xs) == 0 || len(xs) != len(ys) || w < 2 || h < 2 {
+		return ""
+	}
+	minX, maxX := xs[0], xs[0]
+	minY, maxY := ys[0], ys[0]
+	for i := range xs {
+		if xs[i] < minX {
+			minX = xs[i]
+		}
+		if xs[i] > maxX {
+			maxX = xs[i]
+		}
+		if ys[i] < minY {
+			minY = ys[i]
+		}
+		if ys[i] > maxY {
+			maxY = ys[i]
+		}
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([]int, w*h)
+	for i := range xs {
+		cx := int((xs[i] - minX) / (maxX - minX) * float64(w-1))
+		cy := int((ys[i] - minY) / (maxY - minY) * float64(h-1))
+		grid[(h-1-cy)*w+cx]++
+	}
+	marks := []byte{' ', '.', 'o', 'O', '@'}
+	var b strings.Builder
+	for row := 0; row < h; row++ {
+		label := ""
+		switch row {
+		case 0:
+			label = trimFloat(maxY)
+		case h - 1:
+			label = trimFloat(minY)
+		}
+		fmt.Fprintf(&b, "%8s |", label)
+		for col := 0; col < w; col++ {
+			n := grid[row*w+col]
+			idx := n
+			if idx >= len(marks) {
+				idx = len(marks) - 1
+			}
+			b.WriteByte(marks[idx])
+		}
+		b.WriteString("|\n")
+	}
+	fmt.Fprintf(&b, "%8s  %s%s\n", "", trimFloat(minX), strings.Repeat(" ", max(1, w-len(trimFloat(minX))-len(trimFloat(maxX))))+trimFloat(maxX))
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Markdown renders the table as a GitHub-flavoured Markdown table, for
+// pasting campaign results into EXPERIMENTS.md-style documents.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		b.WriteString("|")
+		for _, c := range cells {
+			b.WriteString(" ")
+			b.WriteString(strings.ReplaceAll(c, "|", "\\|"))
+			b.WriteString(" |")
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}

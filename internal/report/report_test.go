@@ -1,0 +1,178 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableFormatting(t *testing.T) {
+	tb := NewTable("demo", "count", "mean", "note")
+	tb.AddRow(1, 1763.951, "hello")
+	tb.AddRow(12, 22.0, "x")
+	out := tb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "1764.0") {
+		t.Fatalf("float not trimmed to one decimal:\n%s", out)
+	}
+	if !strings.Contains(out, "count") || !strings.Contains(out, "-----") {
+		t.Fatalf("missing header/separator:\n%s", out)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("", "a", "bbbb")
+	tb.AddRow("xxxxxx", 1)
+	lines := strings.Split(strings.TrimSpace(tb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// Header and row should align: "bbbb" starts at the same column as "1".
+	hIdx := strings.Index(lines[0], "bbbb")
+	rIdx := strings.Index(lines[2], "1")
+	if hIdx != rIdx {
+		t.Fatalf("columns misaligned: header at %d, row at %d\n%s", hIdx, rIdx, tb.String())
+	}
+}
+
+func TestTableIntegerFloats(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.AddRow(8.0)
+	if !strings.Contains(tb.String(), "8") || strings.Contains(tb.String(), "8.0") {
+		t.Fatalf("integral float rendered badly: %s", tb.String())
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow(`say "hi"`, "x,y")
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"say ""hi"""`) {
+		t.Fatalf("quote escaping broken: %s", csv)
+	}
+	if !strings.Contains(csv, `"x,y"`) {
+		t.Fatalf("comma quoting broken: %s", csv)
+	}
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Fatalf("header missing: %s", csv)
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars([]string{"one", "two"}, []float64{50, 100}, 20)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	n1 := strings.Count(lines[0], "#")
+	n2 := strings.Count(lines[1], "#")
+	if n2 != 20 || n1 != 10 {
+		t.Fatalf("bar lengths = %d/%d, want 10/20", n1, n2)
+	}
+}
+
+func TestBarsDegenerate(t *testing.T) {
+	if Bars(nil, nil, 10) != "" {
+		t.Fatal("empty input should render empty")
+	}
+	if Bars([]string{"a"}, []float64{1, 2}, 10) != "" {
+		t.Fatal("mismatched lengths should render empty")
+	}
+	if out := Bars([]string{"a"}, []float64{0}, 10); !strings.Contains(out, "a") {
+		t.Fatalf("all-zero bars should still render labels: %q", out)
+	}
+}
+
+func TestBoxRow(t *testing.T) {
+	row := BoxRow(10, 20, 30, 40, 50, 0, 60, 61)
+	if len(row) != 61 {
+		t.Fatalf("width = %d", len(row))
+	}
+	if !strings.Contains(row, "O") {
+		t.Fatal("median marker missing")
+	}
+	if strings.Count(row, "|") != 2 {
+		t.Fatalf("whisker markers = %d, want 2: %q", strings.Count(row, "|"), row)
+	}
+	if !strings.Contains(row, "[") || !strings.Contains(row, "]") {
+		t.Fatalf("box markers missing: %q", row)
+	}
+	// Marker order along the row must follow the five-number summary.
+	if strings.Index(row, "|") > strings.Index(row, "[") ||
+		strings.Index(row, "[") > strings.Index(row, "O") ||
+		strings.Index(row, "O") > strings.Index(row, "]") {
+		t.Fatalf("marker order broken: %q", row)
+	}
+}
+
+func TestBoxRowDegenerate(t *testing.T) {
+	if BoxRow(1, 2, 3, 4, 5, 5, 5, 40) != "" {
+		t.Fatal("hi<=lo should render empty")
+	}
+	if BoxRow(1, 2, 3, 4, 5, 0, 10, 5) != "" {
+		t.Fatal("tiny width should render empty")
+	}
+}
+
+func TestBoxRowClamping(t *testing.T) {
+	// Values outside [lo,hi] must clamp, not panic.
+	row := BoxRow(-5, 0, 10, 90, 200, 0, 100, 50)
+	if len(row) != 50 {
+		t.Fatalf("width = %d", len(row))
+	}
+}
+
+func TestScatter(t *testing.T) {
+	xs := []float64{1, 1, 2, 2, 2, 3}
+	ys := []float64{10, 10, 20, 20, 20, 30}
+	out := Scatter(xs, ys, 30, 8)
+	if out == "" {
+		t.Fatal("empty scatter")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 9 {
+		t.Fatalf("lines = %d, want 8 rows + axis", len(lines))
+	}
+	if !strings.Contains(out, "30") || !strings.Contains(out, "10") {
+		t.Fatalf("y-axis labels missing:\n%s", out)
+	}
+	// The triple point renders denser than the single point.
+	if !strings.ContainsAny(out, "oO@") {
+		t.Fatalf("no dense marks:\n%s", out)
+	}
+}
+
+func TestScatterDegenerate(t *testing.T) {
+	if Scatter(nil, nil, 10, 10) != "" {
+		t.Fatal("empty input rendered")
+	}
+	if Scatter([]float64{1}, []float64{1, 2}, 10, 10) != "" {
+		t.Fatal("mismatched input rendered")
+	}
+	if Scatter([]float64{1}, []float64{1}, 1, 10) != "" {
+		t.Fatal("tiny grid rendered")
+	}
+	// Constant data must not divide by zero.
+	if Scatter([]float64{5, 5}, []float64{7, 7}, 10, 5) == "" {
+		t.Fatal("constant data should still render")
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tb := NewTable("My Fig", "a", "b")
+	tb.AddRow("x|y", 2.0)
+	md := tb.Markdown()
+	if !strings.Contains(md, "### My Fig") {
+		t.Fatalf("title missing:\n%s", md)
+	}
+	if !strings.Contains(md, "| a | b |") || !strings.Contains(md, "| --- | --- |") {
+		t.Fatalf("header/separator malformed:\n%s", md)
+	}
+	if !strings.Contains(md, `x\|y`) {
+		t.Fatalf("pipe not escaped:\n%s", md)
+	}
+}

@@ -1,0 +1,248 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical draws out of 100", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split(1)
+	c2 := parent.Split(2)
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("children with different ids produced identical first draw")
+	}
+	// Same id twice, before consuming the parent, must be reproducible.
+	p2 := New(7)
+	d1 := p2.Split(1)
+	e1 := New(7).Split(1)
+	if d1.Uint64() != e1.Uint64() {
+		t.Fatal("Split is not stable for equal (seed, id)")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(11)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(5)
+	seen := make(map[int]int)
+	for i := 0; i < 60000; i++ {
+		v := s.Intn(6)
+		if v < 0 || v >= 6 {
+			t.Fatalf("Intn(6) out of range: %d", v)
+		}
+		seen[v]++
+	}
+	for k := 0; k < 6; k++ {
+		if seen[k] < 9000 || seen[k] > 11000 {
+			t.Fatalf("Intn(6) value %d drawn %d times; expected ~10000", k, seen[k])
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(13)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.Normal(10, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	sd := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean-10) > 0.05 {
+		t.Fatalf("normal mean = %v, want ~10", mean)
+	}
+	if math.Abs(sd-2) > 0.05 {
+		t.Fatalf("normal sd = %v, want ~2", sd)
+	}
+}
+
+func TestLogNormalMeanAndCV(t *testing.T) {
+	s := New(17)
+	const n = 400000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.LogNormal(1.0, 0.08)
+		if v <= 0 {
+			t.Fatalf("lognormal produced non-positive value %v", v)
+		}
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	sd := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean-1.0) > 0.01 {
+		t.Fatalf("lognormal mean = %v, want ~1.0", mean)
+	}
+	if math.Abs(sd/mean-0.08) > 0.01 {
+		t.Fatalf("lognormal cv = %v, want ~0.08", sd/mean)
+	}
+}
+
+func TestLogNormalZeroCV(t *testing.T) {
+	s := New(1)
+	if v := s.LogNormal(3.5, 0); v != 3.5 {
+		t.Fatalf("LogNormal with cv=0 = %v, want exactly the mean", v)
+	}
+}
+
+func TestTruncNormalBounds(t *testing.T) {
+	s := New(19)
+	for i := 0; i < 10000; i++ {
+		v := s.TruncNormal(0, 1, -0.5, 0.5)
+		if v < -0.5 || v > 0.5 {
+			t.Fatalf("TruncNormal escaped bounds: %v", v)
+		}
+	}
+}
+
+func TestTruncNormalDegenerate(t *testing.T) {
+	s := New(19)
+	if v := s.TruncNormal(10, 0, 0, 1); v != 1 {
+		t.Fatalf("TruncNormal(sd=0) clamp = %v, want 1", v)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(23)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := s.Exp(5)
+		if v < 0 {
+			t.Fatalf("Exp produced negative value %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-5) > 0.1 {
+		t.Fatalf("exponential mean = %v, want ~5", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	check := func(seed uint64, n uint8) bool {
+		size := int(n%64) + 1
+		p := New(seed).Perm(size)
+		if len(p) != size {
+			return false
+		}
+		seen := make([]bool, size)
+		for _, v := range p {
+			if v < 0 || v >= size || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermUniformity(t *testing.T) {
+	// First element of Perm(4) should be ~uniform over 0..3.
+	s := New(29)
+	counts := make([]int, 4)
+	for i := 0; i < 40000; i++ {
+		counts[s.Perm(4)[0]]++
+	}
+	for v, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Fatalf("Perm(4) first element %d drawn %d times; expected ~10000", v, c)
+		}
+	}
+}
+
+func TestShuffleMatchesPermSemantics(t *testing.T) {
+	vals := []int{0, 1, 2, 3, 4, 5}
+	New(31).Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	seen := make([]bool, 6)
+	for _, v := range vals {
+		if seen[v] {
+			t.Fatalf("Shuffle duplicated element %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(37)
+	for i := 0; i < 10000; i++ {
+		v := s.UniformRange(60, 1800)
+		if v < 60 || v >= 1800 {
+			t.Fatalf("UniformRange out of bounds: %v", v)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Uint64()
+	}
+}
+
+func BenchmarkLogNormal(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.LogNormal(1, 0.08)
+	}
+}

@@ -1,0 +1,244 @@
+package simkernel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New()
+	var order []int
+	s.At(3, func() { order = append(order, 3) })
+	s.At(1, func() { order = append(order, 1) })
+	s.At(2, func() { order = append(order, 2) })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 50; i++ {
+		i := i
+		s.At(5, func() { order = append(order, i) })
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events fired out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	s := New()
+	var seen []Time
+	s.At(1.5, func() { seen = append(seen, s.Now()) })
+	s.At(4.25, func() { seen = append(seen, s.Now()) })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if seen[0] != 1.5 || seen[1] != 4.25 {
+		t.Fatalf("clock readings = %v", seen)
+	}
+	if s.Now() != 4.25 {
+		t.Fatalf("final clock = %v, want 4.25", s.Now())
+	}
+}
+
+func TestAfterIsRelative(t *testing.T) {
+	s := New()
+	var fired Time
+	s.At(10, func() {
+		s.After(2.5, func() { fired = s.Now() })
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 12.5 {
+		t.Fatalf("After fired at %v, want 12.5", fired)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New()
+	s.At(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(1, func() {})
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegativeAfterPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative After did not panic")
+		}
+	}()
+	s.After(-1, func() {})
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	e := s.At(1, func() { fired = true })
+	if !s.Cancel(e) {
+		t.Fatal("Cancel of pending event returned false")
+	}
+	if s.Cancel(e) {
+		t.Fatal("second Cancel returned true")
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelNil(t *testing.T) {
+	s := New()
+	if s.Cancel(nil) {
+		t.Fatal("Cancel(nil) returned true")
+	}
+}
+
+func TestReschedulePending(t *testing.T) {
+	s := New()
+	var order []string
+	e := s.At(10, func() { order = append(order, "moved") })
+	s.At(5, func() { order = append(order, "fixed") })
+	s.Reschedule(e, 1)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "moved" || order[1] != "fixed" {
+		t.Fatalf("order = %v, want [moved fixed]", order)
+	}
+}
+
+func TestRescheduleFiredEventRequeues(t *testing.T) {
+	s := New()
+	count := 0
+	var e *Event
+	e = s.At(1, func() { count++ })
+	s.At(2, func() { s.Reschedule(e, 3) })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Fatalf("event fired %d times, want 2 (original + requeued)", count)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var fired []Time
+	for _, tt := range []Time{1, 2, 3, 4, 5} {
+		tt := tt
+		s.At(tt, func() { fired = append(fired, tt) })
+	}
+	if err := s.RunUntil(3); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 3 {
+		t.Fatalf("RunUntil(3) fired %d events, want 3", len(fired))
+	}
+	if s.Now() != 3 {
+		t.Fatalf("clock after RunUntil = %v, want 3", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", s.Pending())
+	}
+}
+
+func TestRunUntilAdvancesToDeadlineWhenIdle(t *testing.T) {
+	s := New()
+	if err := s.RunUntil(42); err != nil {
+		t.Fatal(err)
+	}
+	if s.Now() != 42 {
+		t.Fatalf("idle RunUntil left clock at %v, want 42", s.Now())
+	}
+}
+
+func TestMaxEventsGuard(t *testing.T) {
+	s := New()
+	s.MaxEvents = 10
+	var loop func()
+	loop = func() { s.After(1, loop) }
+	s.After(1, loop)
+	if err := s.Run(); err == nil {
+		t.Fatal("runaway loop did not trip MaxEvents")
+	}
+}
+
+func TestExecutedCount(t *testing.T) {
+	s := New()
+	for i := 0; i < 7; i++ {
+		s.At(Time(i), func() {})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Executed() != 7 {
+		t.Fatalf("Executed = %d, want 7", s.Executed())
+	}
+}
+
+// Property: for any set of non-negative times, events fire in nondecreasing
+// time order and the final clock equals the max time.
+func TestPropertyMonotoneFiring(t *testing.T) {
+	check := func(raw []uint16) bool {
+		s := New()
+		var fired []Time
+		var maxT Time
+		for _, r := range raw {
+			tt := Time(r) / 8
+			if tt > maxT {
+				maxT = tt
+			}
+			s.At(tt, func() { fired = append(fired, tt) })
+		}
+		if err := s.Run(); err != nil {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(raw) == 0 || s.Now() == maxT
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := New()
+		for j := 0; j < 1000; j++ {
+			s.At(Time(j%97), func() {})
+		}
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,370 @@
+// Package simnet implements a flow-level network simulator with weighted
+// max-min fair bandwidth sharing.
+//
+// Instead of simulating individual packets, each I/O stream is a Flow with
+// a volume to transfer and a usage vector describing which resources
+// (links, NICs, storage devices — anything with a capacity) it consumes and
+// in what proportion. A flow transferring at rate r consumes r·w on every
+// resource where its weight is w. This captures striping: a client process
+// writing a file striped over k targets at rate r puts r on its own NIC but
+// only r·(m_i/k) on storage host i's NIC, where m_i is the number of that
+// host's targets in the stripe pattern — exactly the accounting behind the
+// paper's Figure 9 timeline and the (min,max) allocation results.
+//
+// Rates are assigned by weighted max-min fairness (progressive filling):
+// all flows grow a common fill level until some resource saturates or a
+// flow hits its rate cap; saturated flows freeze and filling continues.
+// This is the standard fluid approximation for TCP-like fair sharing and
+// for request-level fair queueing inside storage servers.
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/simkernel"
+)
+
+// Resource is anything with a capacity that flows compete for: a network
+// link, a NIC, a storage device, a host I/O controller.
+type Resource struct {
+	Name     string
+	capacity float64 // MiB/s
+
+	// scratch used by the solver
+	load float64
+	sumW float64
+}
+
+// Capacity returns the resource's current capacity in MiB/s.
+func (r *Resource) Capacity() float64 { return r.capacity }
+
+// Flow is a data stream with a fixed volume routed over a set of resources.
+type Flow struct {
+	Name   string
+	Volume float64 // MiB to transfer in total
+
+	// Cap, when positive, bounds the flow's rate (MiB/s) regardless of
+	// resource availability. Used for per-process client-side limits.
+	Cap float64
+
+	// Usage maps each resource the flow touches to the fraction of the
+	// flow's rate consumed on it (usually 1 for its own NIC, m_i/k for a
+	// storage host's share of a striped write).
+	Usage map[*Resource]float64
+
+	// OnComplete, if non-nil, fires when the last byte is transferred.
+	OnComplete func(at simkernel.Time)
+
+	remaining float64
+	rate      float64
+	started   simkernel.Time
+	done      bool
+	event     *simkernel.Event
+
+	frozen bool // solver scratch
+}
+
+// Rate returns the flow's current fair-share rate in MiB/s.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Remaining returns the volume not yet transferred, in MiB.
+func (f *Flow) Remaining() float64 { return f.remaining }
+
+// Done reports whether the flow has completed.
+func (f *Flow) Done() bool { return f.done }
+
+// Started returns the virtual time the flow was started.
+func (f *Flow) Started() simkernel.Time { return f.started }
+
+// Network couples a set of resources and active flows to a simulation
+// clock. All mutation methods must be called from within the simulation's
+// event loop (or before it starts).
+type Network struct {
+	sim        *simkernel.Simulation
+	resources  []*Resource
+	flows      map[*Flow]struct{}
+	lastSettle simkernel.Time
+	observer   func(at simkernel.Time, f *Flow, rate float64)
+}
+
+// Observe registers a callback invoked whenever a flow's fair-share rate
+// changes: at flow start, at every re-balance that moves its rate, and
+// with rate 0 at completion or abort. Used by the trace recorder to build
+// bandwidth timelines (Figure 9 style) from live simulations. Pass nil to
+// remove the observer.
+func (n *Network) Observe(fn func(at simkernel.Time, f *Flow, rate float64)) {
+	n.observer = fn
+}
+
+// New creates an empty network bound to the simulation clock.
+func New(sim *simkernel.Simulation) *Network {
+	return &Network{sim: sim, flows: make(map[*Flow]struct{})}
+}
+
+// AddResource registers a resource with the given capacity (MiB/s).
+func (n *Network) AddResource(name string, capacity float64) *Resource {
+	if capacity < 0 {
+		panic(fmt.Sprintf("simnet: negative capacity %v for %s", capacity, name))
+	}
+	r := &Resource{Name: name, capacity: capacity}
+	n.resources = append(n.resources, r)
+	return r
+}
+
+// SetCapacity changes a resource's capacity and immediately re-balances all
+// flows. Used by the storage model when the number of active targets on a
+// host changes (concave controller capacity) and by the interference
+// injector.
+func (n *Network) SetCapacity(r *Resource, capacity float64) {
+	if capacity < 0 {
+		panic(fmt.Sprintf("simnet: negative capacity %v for %s", capacity, r.Name))
+	}
+	if r.capacity == capacity {
+		return
+	}
+	n.settle()
+	r.capacity = capacity
+	n.rebalance()
+}
+
+// ActiveFlows returns the number of in-flight flows.
+func (n *Network) ActiveFlows() int { return len(n.flows) }
+
+// Start begins transferring a flow. The flow's Volume, Usage and optional
+// Cap/OnComplete must be set; Start panics on a zero-usage flow with
+// positive volume, which would never finish.
+func (n *Network) Start(f *Flow) {
+	if f.Volume < 0 {
+		panic("simnet: negative flow volume")
+	}
+	if len(f.Usage) == 0 && f.Cap <= 0 && f.Volume > 0 {
+		panic("simnet: flow with no resource usage and no cap cannot be paced")
+	}
+	for r, w := range f.Usage {
+		if w <= 0 {
+			panic(fmt.Sprintf("simnet: non-positive usage weight %v on %s", w, r.Name))
+		}
+	}
+	f.remaining = f.Volume
+	f.started = n.sim.Now()
+	f.done = false
+	n.settle()
+	n.flows[f] = struct{}{}
+	n.rebalance()
+}
+
+// Abort removes a flow before completion without firing OnComplete.
+func (n *Network) Abort(f *Flow) {
+	if _, ok := n.flows[f]; !ok {
+		return
+	}
+	n.settle()
+	delete(n.flows, f)
+	if f.event != nil {
+		n.sim.Cancel(f.event)
+		f.event = nil
+	}
+	f.rate = 0
+	if n.observer != nil {
+		n.observer(n.sim.Now(), f, 0)
+	}
+	n.rebalance()
+}
+
+// settle integrates transferred volume for all flows since the last rate
+// change.
+func (n *Network) settle() {
+	now := n.sim.Now()
+	dt := float64(now - n.lastSettle)
+	if dt > 0 {
+		for f := range n.flows {
+			f.remaining -= f.rate * dt
+			if f.remaining < 0 {
+				// Completion events fire exactly at the predicted time, so
+				// any negative residue is floating-point noise.
+				f.remaining = 0
+			}
+		}
+	}
+	n.lastSettle = now
+}
+
+// rebalance recomputes fair-share rates and reschedules completion events.
+func (n *Network) rebalance() {
+	if len(n.flows) == 0 {
+		return
+	}
+	flows := make([]*Flow, 0, len(n.flows))
+	for f := range n.flows {
+		flows = append(flows, f)
+	}
+	// Deterministic solver input order regardless of map iteration.
+	sort.Slice(flows, func(i, j int) bool { return flows[i].Name < flows[j].Name })
+	var oldRates []float64
+	if n.observer != nil {
+		oldRates = make([]float64, len(flows))
+		for i, f := range flows {
+			oldRates[i] = f.rate
+		}
+	}
+	solve(flows)
+	now := n.sim.Now()
+	for i, f := range flows {
+		n.scheduleCompletion(f, now)
+		if n.observer != nil && f.rate != oldRates[i] {
+			n.observer(now, f, f.rate)
+		}
+	}
+}
+
+func (n *Network) scheduleCompletion(f *Flow, now simkernel.Time) {
+	var at simkernel.Time
+	switch {
+	case f.remaining <= 0:
+		at = now
+	case f.rate <= 0:
+		at = simkernel.Never
+	default:
+		at = now + simkernel.Time(f.remaining/f.rate)
+	}
+	if f.event != nil {
+		n.sim.Cancel(f.event)
+		f.event = nil
+	}
+	if at == simkernel.Never {
+		return
+	}
+	f.event = n.sim.At(at, func() { n.complete(f) })
+}
+
+func (n *Network) complete(f *Flow) {
+	if _, ok := n.flows[f]; !ok {
+		return
+	}
+	n.settle()
+	delete(n.flows, f)
+	f.event = nil
+	f.done = true
+	f.remaining = 0
+	f.rate = 0
+	if n.observer != nil {
+		n.observer(n.sim.Now(), f, 0)
+	}
+	n.rebalance()
+	if f.OnComplete != nil {
+		f.OnComplete(n.sim.Now())
+	}
+}
+
+// solve assigns weighted max-min fair rates to the flows in place.
+// Exposed via FairShare for direct testing.
+func solve(flows []*Flow) {
+	for _, f := range flows {
+		f.frozen = false
+		f.rate = 0
+	}
+	// Collect the resources in play.
+	resSet := make(map[*Resource]struct{})
+	for _, f := range flows {
+		for r := range f.Usage {
+			resSet[r] = struct{}{}
+		}
+	}
+	resources := make([]*Resource, 0, len(resSet))
+	for r := range resSet {
+		r.load = 0
+		resources = append(resources, r)
+	}
+	sort.Slice(resources, func(i, j int) bool { return resources[i].Name < resources[j].Name })
+
+	active := len(flows)
+	fill := 0.0
+	for iter := 0; active > 0 && iter <= len(flows)+len(resources)+1; iter++ {
+		// Maximum additional fill before some resource saturates.
+		delta := math.Inf(1)
+		var bottleneck *Resource
+		for _, r := range resources {
+			r.sumW = 0
+			for _, f := range flows {
+				if !f.frozen {
+					if w, ok := f.Usage[r]; ok {
+						r.sumW += w
+					}
+				}
+			}
+			if r.sumW == 0 {
+				continue
+			}
+			d := (r.capacity - r.load) / r.sumW
+			if d < delta {
+				delta = d
+				bottleneck = r
+			}
+		}
+		// Maximum additional fill before some flow hits its cap.
+		capDelta := math.Inf(1)
+		for _, f := range flows {
+			if !f.frozen && f.Cap > 0 {
+				if d := f.Cap - fill; d < capDelta {
+					capDelta = d
+				}
+			}
+		}
+		if math.IsInf(delta, 1) && math.IsInf(capDelta, 1) {
+			// No binding constraint: flows without usage or caps — should
+			// not happen given Start's validation, but guard anyway.
+			break
+		}
+		step := math.Min(delta, capDelta)
+		if step < 0 {
+			step = 0
+		}
+		fill += step
+		for _, r := range resources {
+			if r.sumW > 0 {
+				r.load += r.sumW * step
+			}
+		}
+		// Freeze flows that hit the binding constraint.
+		if capDelta <= delta {
+			for _, f := range flows {
+				if !f.frozen && f.Cap > 0 && f.Cap <= fill+1e-12 {
+					f.frozen = true
+					f.rate = f.Cap
+					active--
+				}
+			}
+		}
+		if delta <= capDelta && bottleneck != nil {
+			for _, f := range flows {
+				if !f.frozen {
+					if _, ok := f.Usage[bottleneck]; ok {
+						f.frozen = true
+						f.rate = fill
+						active--
+					}
+				}
+			}
+		}
+	}
+	for _, f := range flows {
+		if !f.frozen {
+			f.rate = fill
+		}
+	}
+}
+
+// FairShare computes weighted max-min fair rates for a standalone set of
+// flows (no clock involved) and returns the rate per flow in input order.
+// It does not modify remaining volumes. Intended for tests and for the
+// analytic model's cross-validation.
+func FairShare(flows []*Flow) []float64 {
+	solve(flows)
+	rates := make([]float64, len(flows))
+	for i, f := range flows {
+		rates[i] = f.rate
+	}
+	return rates
+}

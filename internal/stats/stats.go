@@ -1,0 +1,293 @@
+// Package stats implements the statistical toolkit the paper's analysis
+// relies on: descriptive summaries, quantiles and boxplot five-number
+// summaries (Figures 8 and 10), histograms, a Welch two-sample t-test and
+// Kolmogorov–Smirnov tests (Figure 13's "share all vs. share none"
+// comparison), and a simple bimodality detector used to verify Figure 6a's
+// bi-modal bandwidth distributions.
+//
+// Everything is implemented from scratch on the standard library.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrInsufficientData is returned when a computation needs more samples
+// than were provided.
+var ErrInsufficientData = errors.New("stats: insufficient data")
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	SD     float64 // sample standard deviation (n-1 denominator)
+	Var    float64 // sample variance
+	Min    float64
+	Max    float64
+	Median float64
+	Q1     float64
+	Q3     float64
+}
+
+// Summarize computes descriptive statistics. It returns
+// ErrInsufficientData for an empty sample; SD and Var are zero for a single
+// observation.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrInsufficientData
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Var = ss / float64(s.N-1)
+		s.SD = math.Sqrt(s.Var)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Median = quantileSorted(sorted, 0.5)
+	s.Q1 = quantileSorted(sorted, 0.25)
+	s.Q3 = quantileSorted(sorted, 0.75)
+	return s, nil
+}
+
+// Mean returns the arithmetic mean, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// SD returns the sample standard deviation (n-1), or 0 when fewer than two
+// samples are provided.
+func SD(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// Quantile returns the p-quantile (0 <= p <= 1) using linear interpolation
+// between order statistics (R type-7, the R default used by the paper's
+// boxplots). It returns NaN for an empty sample and panics for p outside
+// [0, 1].
+func Quantile(xs []float64, p float64) float64 {
+	if p < 0 || p > 1 {
+		panic("stats: quantile p outside [0,1]")
+	}
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, p)
+}
+
+func quantileSorted(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	h := p * float64(n-1)
+	lo := int(math.Floor(h))
+	hi := lo + 1
+	if hi >= n {
+		return sorted[n-1]
+	}
+	frac := h - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// BoxPlot is a five-number summary plus Tukey whiskers and outliers, as
+// drawn in Figures 8 and 10.
+type BoxPlot struct {
+	Min, Q1, Median, Q3, Max float64
+	// LowerWhisker and UpperWhisker are the most extreme data points within
+	// 1.5 IQR of the box.
+	LowerWhisker, UpperWhisker float64
+	Outliers                   []float64
+	N                          int
+}
+
+// NewBoxPlot computes a Tukey boxplot of the sample.
+func NewBoxPlot(xs []float64) (BoxPlot, error) {
+	if len(xs) == 0 {
+		return BoxPlot{}, ErrInsufficientData
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	b := BoxPlot{
+		N:      len(sorted),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Q1:     quantileSorted(sorted, 0.25),
+		Median: quantileSorted(sorted, 0.5),
+		Q3:     quantileSorted(sorted, 0.75),
+	}
+	iqr := b.Q3 - b.Q1
+	loFence := b.Q1 - 1.5*iqr
+	hiFence := b.Q3 + 1.5*iqr
+	b.LowerWhisker = b.Q3
+	b.UpperWhisker = b.Q1
+	for _, x := range sorted {
+		if x < loFence || x > hiFence {
+			b.Outliers = append(b.Outliers, x)
+			continue
+		}
+		if x < b.LowerWhisker {
+			b.LowerWhisker = x
+		}
+		if x > b.UpperWhisker {
+			b.UpperWhisker = x
+		}
+	}
+	return b, nil
+}
+
+// Histogram bins the sample into nbins equal-width bins over [min, max].
+type Histogram struct {
+	Edges  []float64 // len nbins+1
+	Counts []int     // len nbins
+}
+
+// NewHistogram builds a histogram. nbins must be positive.
+func NewHistogram(xs []float64, nbins int) (Histogram, error) {
+	if nbins <= 0 {
+		return Histogram{}, errors.New("stats: nbins must be positive")
+	}
+	if len(xs) == 0 {
+		return Histogram{}, ErrInsufficientData
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if hi == lo {
+		hi = lo + 1 // degenerate sample: one bin catches everything
+	}
+	h := Histogram{Edges: make([]float64, nbins+1), Counts: make([]int, nbins)}
+	w := (hi - lo) / float64(nbins)
+	for i := range h.Edges {
+		h.Edges[i] = lo + w*float64(i)
+	}
+	for _, x := range xs {
+		b := int((x - lo) / w)
+		if b >= nbins {
+			b = nbins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		h.Counts[b]++
+	}
+	return h, nil
+}
+
+// Bimodal reports whether the sample looks bi-modal: it bins the data and
+// looks for two well-separated populated regions with a sparse valley
+// between them. This is deliberately a coarse check — it is used to verify
+// the qualitative claim of Figure 6a (counts 2, 3, 5, 6 are bi-modal;
+// counts 1, 4, 7, 8 are not), not to do rigorous density estimation.
+//
+// The test: bin into 10 bins; find the tallest bin, then the tallest bin
+// at distance >= 3 bins from it; both peaks must hold >= 15% of the mass,
+// some bin between them must hold <= half of the smaller peak, and the
+// peaks must sit at least 1.6 sample standard deviations apart (a genuine
+// 50/50 two-mode mixture separates its modes by ~2 SD; unimodal noise
+// cannot).
+func Bimodal(xs []float64) bool {
+	if len(xs) < 10 {
+		return false
+	}
+	// Scale bin count with sample size so sparse samples don't fragment a
+	// single mode into spurious peaks.
+	nbins := len(xs) / 6
+	if nbins < 5 {
+		nbins = 5
+	}
+	if nbins > 10 {
+		nbins = 10
+	}
+	h, err := NewHistogram(xs, nbins)
+	if err != nil {
+		return false
+	}
+	n := len(xs)
+	// Tallest bin.
+	p1 := 0
+	for i, c := range h.Counts {
+		if c > h.Counts[p1] {
+			p1 = i
+		}
+	}
+	// Tallest bin at least 3 bins away.
+	p2 := -1
+	for i, c := range h.Counts {
+		d := i - p1
+		if d < 0 {
+			d = -d
+		}
+		if d >= 3 && (p2 < 0 || c > h.Counts[p2]) {
+			p2 = i
+		}
+	}
+	if p2 < 0 {
+		return false
+	}
+	minPeak := h.Counts[p1]
+	if h.Counts[p2] < minPeak {
+		minPeak = h.Counts[p2]
+	}
+	if float64(minPeak) < 0.15*float64(n) {
+		return false
+	}
+	// Peak separation in SD units.
+	binWidth := h.Edges[1] - h.Edges[0]
+	sep := math.Abs(float64(p1-p2)) * binWidth
+	if sd := SD(xs); sd > 0 && sep < 1.6*sd {
+		return false
+	}
+	lo, hi := p1, p2
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	valley := n
+	for i := lo + 1; i < hi; i++ {
+		if h.Counts[i] < valley {
+			valley = h.Counts[i]
+		}
+	}
+	return float64(valley) <= 0.5*float64(minPeak)
+}

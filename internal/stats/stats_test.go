@@ -1,0 +1,591 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarizeBasics(t *testing.T) {
+	s, err := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 8 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if !almost(s.Mean, 5, 1e-12) {
+		t.Fatalf("Mean = %v, want 5", s.Mean)
+	}
+	// Sample SD with n-1: variance = 32/7.
+	if !almost(s.Var, 32.0/7, 1e-12) {
+		t.Fatalf("Var = %v, want %v", s.Var, 32.0/7)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	if !almost(s.Median, 4.5, 1e-12) {
+		t.Fatalf("Median = %v, want 4.5", s.Median)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); err != ErrInsufficientData {
+		t.Fatalf("err = %v, want ErrInsufficientData", err)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s, err := Summarize([]float64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SD != 0 || s.Mean != 3 || s.Median != 3 {
+		t.Fatalf("single-sample summary wrong: %+v", s)
+	}
+}
+
+func TestMeanEmptyIsNaN(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean(nil) should be NaN")
+	}
+}
+
+func TestQuantileType7(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	// R type-7: quantile(x, .25) = 1.75
+	if q := Quantile(xs, 0.25); !almost(q, 1.75, 1e-12) {
+		t.Fatalf("Q1 = %v, want 1.75", q)
+	}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Fatalf("Q0 = %v, want 1", q)
+	}
+	if q := Quantile(xs, 1); q != 4 {
+		t.Fatalf("Q1.0 = %v, want 4", q)
+	}
+}
+
+func TestQuantilePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Quantile(p=2) did not panic")
+		}
+	}()
+	Quantile([]float64{1}, 2)
+}
+
+func TestQuantileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestBoxPlotWhiskersAndOutliers(t *testing.T) {
+	// Data with one clear upper outlier.
+	xs := []float64{10, 11, 12, 13, 14, 15, 16, 17, 18, 100}
+	b, err := NewBoxPlot(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Outliers) != 1 || b.Outliers[0] != 100 {
+		t.Fatalf("Outliers = %v, want [100]", b.Outliers)
+	}
+	if b.UpperWhisker != 18 {
+		t.Fatalf("UpperWhisker = %v, want 18", b.UpperWhisker)
+	}
+	if b.LowerWhisker != 10 {
+		t.Fatalf("LowerWhisker = %v, want 10", b.LowerWhisker)
+	}
+	if b.Max != 100 {
+		t.Fatalf("Max = %v, want 100", b.Max)
+	}
+}
+
+func TestBoxPlotPropertyOrdering(t *testing.T) {
+	check := func(seed uint64, n uint8) bool {
+		size := int(n%100) + 1
+		src := rng.New(seed)
+		xs := make([]float64, size)
+		for i := range xs {
+			xs[i] = src.Normal(100, 25)
+		}
+		b, err := NewBoxPlot(xs)
+		if err != nil {
+			return false
+		}
+		return b.Min <= b.Q1 && b.Q1 <= b.Median && b.Median <= b.Q3 && b.Q3 <= b.Max &&
+			b.LowerWhisker >= b.Q1-1.5*(b.Q3-b.Q1)-1e-9 &&
+			b.UpperWhisker <= b.Q3+1.5*(b.Q3-b.Q1)+1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramCountsSum(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	h, err := NewHistogram(xs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != len(xs) {
+		t.Fatalf("histogram counts sum to %d, want %d", total, len(xs))
+	}
+	if len(h.Edges) != 6 {
+		t.Fatalf("edges = %d, want 6", len(h.Edges))
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	h, err := NewHistogram([]float64{5, 5, 5}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 3 {
+		t.Fatalf("degenerate histogram lost samples: %v", h.Counts)
+	}
+}
+
+func TestHistogramBadBins(t *testing.T) {
+	if _, err := NewHistogram([]float64{1}, 0); err == nil {
+		t.Fatal("nbins=0 accepted")
+	}
+}
+
+func TestBimodalDetectsTwoModes(t *testing.T) {
+	src := rng.New(1)
+	var xs []float64
+	for i := 0; i < 50; i++ {
+		xs = append(xs, src.Normal(1100, 20))
+	}
+	for i := 0; i < 50; i++ {
+		xs = append(xs, src.Normal(2200, 20))
+	}
+	if !Bimodal(xs) {
+		t.Fatal("clear two-mode sample not detected as bimodal")
+	}
+}
+
+func TestBimodalRejectsUnimodal(t *testing.T) {
+	src := rng.New(2)
+	var xs []float64
+	for i := 0; i < 100; i++ {
+		xs = append(xs, src.Normal(1500, 50))
+	}
+	if Bimodal(xs) {
+		t.Fatal("unimodal sample flagged as bimodal")
+	}
+}
+
+func TestBimodalSmallSample(t *testing.T) {
+	if Bimodal([]float64{1, 2}) {
+		t.Fatal("tiny sample flagged as bimodal")
+	}
+}
+
+func TestWelchTEqualMeans(t *testing.T) {
+	src := rng.New(3)
+	a := make([]float64, 100)
+	b := make([]float64, 100)
+	for i := range a {
+		a[i] = src.Normal(50, 5)
+		b[i] = src.Normal(50, 8)
+	}
+	res, err := WelchT(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P < 0.01 {
+		t.Fatalf("equal-mean samples rejected: p = %v", res.P)
+	}
+}
+
+func TestWelchTDifferentMeans(t *testing.T) {
+	src := rng.New(4)
+	a := make([]float64, 50)
+	b := make([]float64, 50)
+	for i := range a {
+		a[i] = src.Normal(50, 5)
+		b[i] = src.Normal(60, 5)
+	}
+	res, err := WelchT(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > 1e-6 {
+		t.Fatalf("10-sigma-apart samples not rejected: p = %v", res.P)
+	}
+	if res.T > 0 {
+		t.Fatalf("T should be negative when mean(a) < mean(b): %v", res.T)
+	}
+}
+
+func TestWelchTKnownValue(t *testing.T) {
+	// Hand-computed: a = {1..5}: mean 3, var 2.5; b = 2a: mean 6, var 10.
+	// t = (3-6)/sqrt(2.5/5 + 10/5) = -3/sqrt(2.5) = -1.89737.
+	// df = 2.5^2 / ((0.5^2)/4 + (2^2)/4) = 6.25/1.0625 = 5.88235.
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{2, 4, 6, 8, 10}
+	res, err := WelchT(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(res.T, -3/math.Sqrt(2.5), 1e-9) {
+		t.Fatalf("T = %v, want %v", res.T, -3/math.Sqrt(2.5))
+	}
+	if !almost(res.DF, 6.25/1.0625, 1e-9) {
+		t.Fatalf("DF = %v, want %v", res.DF, 6.25/1.0625)
+	}
+	// Two-sided p for |t|=1.897 at ~5.9 df sits near 0.107.
+	if res.P < 0.09 || res.P > 0.13 {
+		t.Fatalf("P = %v, want ~0.107", res.P)
+	}
+}
+
+func TestWelchTConstantSamples(t *testing.T) {
+	res, err := WelchT([]float64{5, 5, 5}, []float64{5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 {
+		t.Fatalf("identical constants: p = %v, want 1", res.P)
+	}
+	res, err = WelchT([]float64{5, 5, 5}, []float64{6, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 0 {
+		t.Fatalf("different constants: p = %v, want 0", res.P)
+	}
+}
+
+func TestWelchTInsufficient(t *testing.T) {
+	if _, err := WelchT([]float64{1}, []float64{1, 2}); err != ErrInsufficientData {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWelchTSymmetry(t *testing.T) {
+	check := func(seed uint64) bool {
+		src := rng.New(seed)
+		a := make([]float64, 30)
+		b := make([]float64, 40)
+		for i := range a {
+			a[i] = src.Normal(10, 2)
+		}
+		for i := range b {
+			b[i] = src.Normal(11, 3)
+		}
+		r1, err1 := WelchT(a, b)
+		r2, err2 := WelchT(b, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return almost(r1.P, r2.P, 1e-12) && almost(r1.T, -r2.T, 1e-12)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKSNormalAcceptsNormal(t *testing.T) {
+	src := rng.New(6)
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = src.Normal(100, 10)
+	}
+	res, err := KSNormal(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P < 0.01 {
+		t.Fatalf("normal sample rejected by KS: p = %v (D = %v)", res.P, res.D)
+	}
+}
+
+func TestKSNormalRejectsBimodal(t *testing.T) {
+	src := rng.New(7)
+	xs := make([]float64, 0, 200)
+	for i := 0; i < 100; i++ {
+		xs = append(xs, src.Normal(0, 1))
+	}
+	for i := 0; i < 100; i++ {
+		xs = append(xs, src.Normal(10, 1))
+	}
+	res, err := KSNormal(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > 0.01 {
+		t.Fatalf("strongly bimodal sample accepted as normal: p = %v", res.P)
+	}
+}
+
+func TestKSNormalConstant(t *testing.T) {
+	res, err := KSNormal([]float64{2, 2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 0 {
+		t.Fatalf("constant sample: p = %v, want 0", res.P)
+	}
+}
+
+func TestKSTwoSampleSameDistribution(t *testing.T) {
+	src := rng.New(8)
+	a := make([]float64, 150)
+	b := make([]float64, 150)
+	for i := range a {
+		a[i] = src.Normal(5, 1)
+		b[i] = src.Normal(5, 1)
+	}
+	res, err := KSTwoSample(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P < 0.01 {
+		t.Fatalf("same-distribution samples rejected: p = %v", res.P)
+	}
+}
+
+func TestKSTwoSampleDifferent(t *testing.T) {
+	src := rng.New(9)
+	a := make([]float64, 150)
+	b := make([]float64, 150)
+	for i := range a {
+		a[i] = src.Normal(5, 1)
+		b[i] = src.Normal(8, 1)
+	}
+	res, err := KSTwoSample(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > 1e-6 {
+		t.Fatalf("3-sigma-apart samples not rejected: p = %v", res.P)
+	}
+}
+
+func TestKSTwoSampleEmpty(t *testing.T) {
+	if _, err := KSTwoSample(nil, []float64{1}); err != ErrInsufficientData {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRegIncBetaBounds(t *testing.T) {
+	if v := regIncBeta(2, 3, 0); v != 0 {
+		t.Fatalf("I_0 = %v, want 0", v)
+	}
+	if v := regIncBeta(2, 3, 1); v != 1 {
+		t.Fatalf("I_1 = %v, want 1", v)
+	}
+	// I_x(1,1) = x (uniform distribution).
+	for _, x := range []float64{0.1, 0.25, 0.5, 0.9} {
+		if v := regIncBeta(1, 1, x); !almost(v, x, 1e-10) {
+			t.Fatalf("I_%v(1,1) = %v, want %v", x, v, x)
+		}
+	}
+}
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	if v := normalCDF(0); !almost(v, 0.5, 1e-12) {
+		t.Fatalf("Phi(0) = %v", v)
+	}
+	if v := normalCDF(1.96); !almost(v, 0.975, 1e-3) {
+		t.Fatalf("Phi(1.96) = %v", v)
+	}
+	if v := normalCDF(-1.96); !almost(v, 0.025, 1e-3) {
+		t.Fatalf("Phi(-1.96) = %v", v)
+	}
+}
+
+func TestStudentTSFKnownValues(t *testing.T) {
+	// With df -> large, t-dist ~ normal: P(T > 1.96) ~ 0.025.
+	if v := studentTSF(1.96, 10000); !almost(v, 0.025, 1e-3) {
+		t.Fatalf("SF(1.96, 1e4) = %v", v)
+	}
+	// t(1) is Cauchy: P(T > 1) = 0.25.
+	if v := studentTSF(1, 1); !almost(v, 0.25, 1e-6) {
+		t.Fatalf("SF(1, 1) = %v, want 0.25", v)
+	}
+}
+
+func BenchmarkSummarize(b *testing.B) {
+	src := rng.New(1)
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = src.Normal(1000, 100)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Summarize(xs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWelchT(b *testing.B) {
+	src := rng.New(1)
+	xs := make([]float64, 100)
+	ys := make([]float64, 100)
+	for i := range xs {
+		xs[i] = src.Normal(1000, 100)
+		ys[i] = src.Normal(1050, 100)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := WelchT(xs, ys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestMeanCICoversTrueMean(t *testing.T) {
+	// Frequentist check: ~95% of 95% CIs cover the true mean.
+	src := rng.New(41)
+	covered := 0
+	const trials = 400
+	for i := 0; i < trials; i++ {
+		xs := make([]float64, 30)
+		for j := range xs {
+			xs[j] = src.Normal(100, 15)
+		}
+		lo, hi, err := MeanCI(xs, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lo <= 100 && 100 <= hi {
+			covered++
+		}
+	}
+	rate := float64(covered) / trials
+	if rate < 0.90 || rate > 0.99 {
+		t.Fatalf("95%% CI covered the mean %.1f%% of the time", rate*100)
+	}
+}
+
+func TestMeanCIErrors(t *testing.T) {
+	if _, _, err := MeanCI([]float64{1}, 0.95); err != ErrInsufficientData {
+		t.Fatalf("err = %v", err)
+	}
+	if _, _, err := MeanCI([]float64{1, 2}, 1.5); err == nil {
+		t.Fatal("bad level accepted")
+	}
+}
+
+func TestStudentTQuantileKnownValues(t *testing.T) {
+	// t_{0.975, inf} = 1.96; t_{0.975, 10} = 2.228.
+	if v := studentTQuantile(0.975, 1e6); !almost(v, 1.96, 0.01) {
+		t.Fatalf("q(0.975, inf) = %v", v)
+	}
+	if v := studentTQuantile(0.975, 10); !almost(v, 2.228, 0.01) {
+		t.Fatalf("q(0.975, 10) = %v", v)
+	}
+	if v := studentTQuantile(0.5, 10); v != 0 {
+		t.Fatalf("median quantile = %v", v)
+	}
+}
+
+func TestMannWhitneySameDistribution(t *testing.T) {
+	src := rng.New(51)
+	a := make([]float64, 80)
+	b := make([]float64, 80)
+	for i := range a {
+		a[i] = src.Normal(10, 2)
+		b[i] = src.Normal(10, 2)
+	}
+	res, err := MannWhitneyU(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P < 0.01 {
+		t.Fatalf("same-distribution samples rejected: p = %v", res.P)
+	}
+}
+
+func TestMannWhitneyShifted(t *testing.T) {
+	src := rng.New(52)
+	a := make([]float64, 50)
+	b := make([]float64, 50)
+	for i := range a {
+		a[i] = src.Normal(10, 2)
+		b[i] = src.Normal(13, 2)
+	}
+	res, err := MannWhitneyU(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > 1e-4 {
+		t.Fatalf("1.5-sigma shift not detected: p = %v", res.P)
+	}
+}
+
+func TestMannWhitneyWorksOnBimodalData(t *testing.T) {
+	// The reason it exists here: two bimodal samples with the SAME mixture
+	// are accepted; shifting one mode is detected.
+	src := rng.New(53)
+	mk := func(lo, hi float64) []float64 {
+		xs := make([]float64, 0, 60)
+		for i := 0; i < 30; i++ {
+			xs = append(xs, src.Normal(lo, 20), src.Normal(hi, 20))
+		}
+		return xs
+	}
+	same1, same2 := mk(1100, 2200), mk(1100, 2200)
+	res, err := MannWhitneyU(same1, same2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P < 0.01 {
+		t.Fatalf("identical mixtures rejected: p = %v", res.P)
+	}
+	shifted := mk(1100, 2600)
+	res, err = MannWhitneyU(same1, shifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > 0.05 {
+		t.Fatalf("shifted mode not detected: p = %v", res.P)
+	}
+}
+
+func TestMannWhitneyKnownSmallCase(t *testing.T) {
+	// Hand-computed: a = {1,2}, b = {3,4}: ranks of a = 1,2 -> Ra = 3,
+	// U = 3 - 3 = 0.
+	res, err := MannWhitneyU([]float64{1, 2}, []float64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.U != 0 {
+		t.Fatalf("U = %v, want 0", res.U)
+	}
+}
+
+func TestMannWhitneyAllTied(t *testing.T) {
+	res, err := MannWhitneyU([]float64{5, 5, 5}, []float64{5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 {
+		t.Fatalf("all-tied p = %v, want 1", res.P)
+	}
+}
+
+func TestMannWhitneyInsufficient(t *testing.T) {
+	if _, err := MannWhitneyU([]float64{1}, []float64{2, 3}); err != ErrInsufficientData {
+		t.Fatalf("err = %v", err)
+	}
+}

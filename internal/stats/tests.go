@@ -1,0 +1,362 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// WelchTResult is the outcome of a Welch two-sample t-test, the test the
+// paper applies in §IV-D to compare "applications share all 4 OSTs" against
+// "applications share no OSTs" (reported p-value: 0.9031).
+type WelchTResult struct {
+	T  float64 // test statistic
+	DF float64 // Welch–Satterthwaite degrees of freedom
+	P  float64 // two-sided p-value
+}
+
+// WelchT performs Welch's unequal-variances two-sample t-test on the two
+// samples. Both samples need at least two observations.
+func WelchT(a, b []float64) (WelchTResult, error) {
+	if len(a) < 2 || len(b) < 2 {
+		return WelchTResult{}, ErrInsufficientData
+	}
+	ma, mb := Mean(a), Mean(b)
+	va, vb := variance(a, ma), variance(b, mb)
+	na, nb := float64(len(a)), float64(len(b))
+	sa, sb := va/na, vb/nb
+	se := math.Sqrt(sa + sb)
+	var res WelchTResult
+	if se == 0 {
+		// Identical constant samples: t = 0 (no evidence of difference);
+		// different constants: infinite evidence.
+		if ma == mb {
+			return WelchTResult{T: 0, DF: na + nb - 2, P: 1}, nil
+		}
+		return WelchTResult{T: math.Inf(sign(ma - mb)), DF: na + nb - 2, P: 0}, nil
+	}
+	res.T = (ma - mb) / se
+	res.DF = (sa + sb) * (sa + sb) / (sa*sa/(na-1) + sb*sb/(nb-1))
+	res.P = 2 * studentTSF(math.Abs(res.T), res.DF)
+	if res.P > 1 {
+		res.P = 1
+	}
+	return res, nil
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+func variance(xs []float64, mean float64) float64 {
+	ss := 0.0
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1)
+}
+
+// studentTSF is the survival function P(T > t) of Student's t distribution
+// with df degrees of freedom, via the regularized incomplete beta function.
+func studentTSF(t, df float64) float64 {
+	if math.IsInf(t, 1) {
+		return 0
+	}
+	x := df / (df + t*t)
+	return 0.5 * regIncBeta(df/2, 0.5, x)
+}
+
+// regIncBeta computes the regularized incomplete beta function I_x(a, b)
+// using the continued-fraction expansion (Numerical Recipes betacf).
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b)
+	front := math.Exp(lbeta + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betacf(a, b, x) / a
+	}
+	return 1 - front*betacf(b, a, 1-x)/b
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+func betacf(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := float64(2 * m)
+		fm := float64(m)
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// KSResult is the outcome of a Kolmogorov–Smirnov test.
+type KSResult struct {
+	D float64 // maximum distance between distribution functions
+	P float64 // asymptotic p-value
+}
+
+// KSNormal performs a one-sample Kolmogorov–Smirnov test of the sample
+// against a normal distribution with the sample's own mean and standard
+// deviation. This mirrors the paper's normality screening before its
+// Welch t-test. (Estimating parameters from the data makes the classic
+// asymptotic p-value conservative — the same caveat applies to the common
+// R workflow the paper used.)
+func KSNormal(xs []float64) (KSResult, error) {
+	if len(xs) < 3 {
+		return KSResult{}, ErrInsufficientData
+	}
+	m := Mean(xs)
+	sd := SD(xs)
+	if sd == 0 {
+		return KSResult{D: 1, P: 0}, nil
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	d := 0.0
+	for i, x := range sorted {
+		cdf := normalCDF((x - m) / sd)
+		up := float64(i+1)/n - cdf
+		dn := cdf - float64(i)/n
+		if up > d {
+			d = up
+		}
+		if dn > d {
+			d = dn
+		}
+	}
+	return KSResult{D: d, P: ksPValue(d, n)}, nil
+}
+
+// KSTwoSample performs a two-sample Kolmogorov–Smirnov test.
+func KSTwoSample(a, b []float64) (KSResult, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return KSResult{}, ErrInsufficientData
+	}
+	sa := append([]float64(nil), a...)
+	sb := append([]float64(nil), b...)
+	sort.Float64s(sa)
+	sort.Float64s(sb)
+	na, nb := len(sa), len(sb)
+	var i, j int
+	d := 0.0
+	for i < na && j < nb {
+		x := math.Min(sa[i], sb[j])
+		for i < na && sa[i] <= x {
+			i++
+		}
+		for j < nb && sb[j] <= x {
+			j++
+		}
+		diff := math.Abs(float64(i)/float64(na) - float64(j)/float64(nb))
+		if diff > d {
+			d = diff
+		}
+	}
+	ne := float64(na) * float64(nb) / float64(na+nb)
+	return KSResult{D: d, P: ksPValue(d, ne)}, nil
+}
+
+// ksPValue is the asymptotic Kolmogorov distribution tail
+// Q(lambda) = 2 sum (-1)^{k-1} exp(-2 k^2 lambda^2) with the standard
+// effective-n correction.
+func ksPValue(d, n float64) float64 {
+	sqrtN := math.Sqrt(n)
+	lambda := (sqrtN + 0.12 + 0.11/sqrtN) * d
+	sum := 0.0
+	for k := 1; k <= 100; k++ {
+		term := math.Exp(-2 * float64(k*k) * lambda * lambda)
+		if k%2 == 1 {
+			sum += term
+		} else {
+			sum -= term
+		}
+		if term < 1e-12 {
+			break
+		}
+	}
+	p := 2 * sum
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// normalCDF is the standard normal cumulative distribution function.
+func normalCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// MeanCI returns the two-sided Student-t confidence interval for the
+// sample mean at the given confidence level (e.g. 0.95). The experiment
+// tables report it alongside means so that paper-vs-measured comparisons
+// carry their uncertainty.
+func MeanCI(xs []float64, level float64) (lo, hi float64, err error) {
+	if len(xs) < 2 {
+		return 0, 0, ErrInsufficientData
+	}
+	if level <= 0 || level >= 1 {
+		return 0, 0, errBadLevel
+	}
+	m := Mean(xs)
+	se := SD(xs) / math.Sqrt(float64(len(xs)))
+	t := studentTQuantile(1-(1-level)/2, float64(len(xs)-1))
+	return m - t*se, m + t*se, nil
+}
+
+var errBadLevel = errInvalid("stats: confidence level must be in (0,1)")
+
+type errInvalid string
+
+func (e errInvalid) Error() string { return string(e) }
+
+// studentTQuantile inverts the Student-t CDF by bisection on the survival
+// function (adequate for the table-making use here).
+func studentTQuantile(p, df float64) float64 {
+	if p == 0.5 {
+		return 0
+	}
+	// t in [0, 1e3] covers any practical confidence level and df >= 1.
+	lo, hi := 0.0, 1000.0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		// CDF(mid) = 1 - SF(mid).
+		if 1-studentTSF(mid, df) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// MannWhitneyResult is the outcome of a Mann-Whitney U test (Wilcoxon
+// rank-sum) — the nonparametric complement to WelchT for samples that
+// fail the KS normality screening (e.g. the bimodal distributions of
+// Figure 6a, where a t-test's mean comparison is misleading; lesson 5).
+type MannWhitneyResult struct {
+	U float64 // Mann-Whitney U statistic (of the first sample)
+	Z float64 // normal approximation with tie correction
+	P float64 // two-sided p-value
+}
+
+// MannWhitneyU performs the two-sided Mann-Whitney U test using the
+// normal approximation with tie correction (adequate for n >= 8 per
+// group, which every campaign in this repo exceeds).
+func MannWhitneyU(a, b []float64) (MannWhitneyResult, error) {
+	na, nb := len(a), len(b)
+	if na < 2 || nb < 2 {
+		return MannWhitneyResult{}, ErrInsufficientData
+	}
+	type obs struct {
+		v     float64
+		fromA bool
+	}
+	all := make([]obs, 0, na+nb)
+	for _, v := range a {
+		all = append(all, obs{v, true})
+	}
+	for _, v := range b {
+		all = append(all, obs{v, false})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+	// Midranks with tie bookkeeping.
+	ranks := make([]float64, len(all))
+	tieTerm := 0.0
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		mid := float64(i+j+1) / 2 // average of ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = mid
+		}
+		t := float64(j - i)
+		tieTerm += t*t*t - t
+		i = j
+	}
+	ra := 0.0
+	for i, o := range all {
+		if o.fromA {
+			ra += ranks[i]
+		}
+	}
+	fa, fb := float64(na), float64(nb)
+	u := ra - fa*(fa+1)/2
+	mean := fa * fb / 2
+	n := fa + fb
+	variance := fa * fb / 12 * (n + 1 - tieTerm/(n*(n-1)))
+	res := MannWhitneyResult{U: u}
+	if variance <= 0 {
+		// All observations tied: no evidence of difference.
+		res.P = 1
+		return res, nil
+	}
+	// Continuity correction.
+	diff := u - mean
+	cc := 0.5
+	if diff < 0 {
+		cc = -0.5
+	}
+	res.Z = (diff - cc) / math.Sqrt(variance)
+	res.P = 2 * (1 - normalCDF(math.Abs(res.Z)))
+	if res.P > 1 {
+		res.P = 1
+	}
+	return res, nil
+}

@@ -1,0 +1,202 @@
+// Package trace records flow-rate timelines from a live simulation — the
+// quantitative version of the paper's Figure 9: which server/flow ran at
+// what bandwidth, when, and why completion is staggered under unbalanced
+// allocations.
+//
+// Attach a Recorder to a simnet.Network with
+//
+//	rec := trace.NewRecorder()
+//	network.Observe(rec.Hook())
+//
+// and read back per-flow step series, the aggregate bandwidth timeline,
+// and ASCII sparklines after (or during) the run.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/simkernel"
+	"repro/internal/simnet"
+)
+
+// Point is one step of a rate timeline: the flow (or aggregate) ran at
+// Rate from At until the next point's At.
+type Point struct {
+	At   float64
+	Rate float64
+}
+
+// Recorder accumulates rate-change events.
+type Recorder struct {
+	// Filter, when non-nil, limits recording to flows whose name it
+	// accepts.
+	Filter func(name string) bool
+
+	events map[string][]Point
+	order  []string
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{events: make(map[string][]Point)}
+}
+
+// Hook adapts the recorder to simnet.Network.Observe.
+func (r *Recorder) Hook() func(at simkernel.Time, f *simnet.Flow, rate float64) {
+	return func(at simkernel.Time, f *simnet.Flow, rate float64) {
+		r.Record(float64(at), f.Name, rate)
+	}
+}
+
+// Record adds a rate-change event directly.
+func (r *Recorder) Record(at float64, flow string, rate float64) {
+	if r.Filter != nil && !r.Filter(flow) {
+		return
+	}
+	if _, ok := r.events[flow]; !ok {
+		r.order = append(r.order, flow)
+	}
+	pts := r.events[flow]
+	if n := len(pts); n > 0 && pts[n-1].At == at {
+		// Same-instant update supersedes the previous one.
+		pts[n-1].Rate = rate
+		r.events[flow] = pts
+		return
+	}
+	r.events[flow] = append(pts, Point{At: at, Rate: rate})
+}
+
+// Flows returns the recorded flow names in first-seen order.
+func (r *Recorder) Flows() []string {
+	return append([]string(nil), r.order...)
+}
+
+// Series returns the step series of one flow (nil if unknown).
+func (r *Recorder) Series(flow string) []Point {
+	return append([]Point(nil), r.events[flow]...)
+}
+
+// Reset drops all recorded events.
+func (r *Recorder) Reset() {
+	r.events = make(map[string][]Point)
+	r.order = nil
+}
+
+// Volume integrates a flow's step series up to time end, returning the
+// bytes (in the series' rate unit x seconds) transferred.
+func (r *Recorder) Volume(flow string, end float64) float64 {
+	pts := r.events[flow]
+	total := 0.0
+	for i, p := range pts {
+		stop := end
+		if i+1 < len(pts) && pts[i+1].At < end {
+			stop = pts[i+1].At
+		}
+		if stop > p.At {
+			total += p.Rate * (stop - p.At)
+		}
+	}
+	return total
+}
+
+// Aggregate returns the total-rate step series across all recorded flows.
+func (r *Recorder) Aggregate() []Point {
+	// Sweep over all change events in time order, maintaining per-flow
+	// current rates.
+	type change struct {
+		at   float64
+		flow string
+		rate float64
+		seq  int
+	}
+	var changes []change
+	seq := 0
+	for flow, pts := range r.events {
+		for _, p := range pts {
+			changes = append(changes, change{at: p.At, flow: flow, rate: p.Rate, seq: seq})
+			seq++
+		}
+	}
+	sort.Slice(changes, func(i, j int) bool {
+		if changes[i].at != changes[j].at {
+			return changes[i].at < changes[j].at
+		}
+		return changes[i].seq < changes[j].seq
+	})
+	current := make(map[string]float64)
+	var out []Point
+	total := 0.0
+	for i, c := range changes {
+		total += c.rate - current[c.flow]
+		current[c.flow] = c.rate
+		// Emit once per timestamp (after the last change at that time).
+		if i+1 < len(changes) && changes[i+1].at == c.at {
+			continue
+		}
+		if n := len(out); n > 0 && math.Abs(out[n-1].Rate-total) < 1e-12 {
+			continue
+		}
+		out = append(out, Point{At: c.at, Rate: total})
+	}
+	return out
+}
+
+// Sparkline renders a flow's rate timeline as a fixed-width ASCII strip
+// sampled uniformly over [0, end].
+func (r *Recorder) Sparkline(flow string, end float64, width int) string {
+	pts := r.events[flow]
+	if len(pts) == 0 || width <= 0 || end <= 0 {
+		return ""
+	}
+	levels := []byte(" .:-=+*#%@")
+	maxRate := 0.0
+	for _, p := range pts {
+		if p.Rate > maxRate {
+			maxRate = p.Rate
+		}
+	}
+	if maxRate == 0 {
+		return strings.Repeat(" ", width)
+	}
+	rateAt := func(t float64) float64 {
+		rate := 0.0
+		for _, p := range pts {
+			if p.At > t {
+				break
+			}
+			rate = p.Rate
+		}
+		return rate
+	}
+	var b strings.Builder
+	for i := 0; i < width; i++ {
+		t := end * (float64(i) + 0.5) / float64(width)
+		lvl := int(rateAt(t) / maxRate * float64(len(levels)-1))
+		if lvl < 0 {
+			lvl = 0
+		}
+		if lvl >= len(levels) {
+			lvl = len(levels) - 1
+		}
+		b.WriteByte(levels[lvl])
+	}
+	return b.String()
+}
+
+// Summary renders one line per flow: name, completion time of its last
+// event, transferred volume.
+func (r *Recorder) Summary(end float64) string {
+	var b strings.Builder
+	for _, flow := range r.order {
+		pts := r.events[flow]
+		last := 0.0
+		if len(pts) > 0 {
+			last = pts[len(pts)-1].At
+		}
+		fmt.Fprintf(&b, "%-40s last-change %8.3fs volume %10.1f\n", flow, last, r.Volume(flow, end))
+	}
+	return b.String()
+}

@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/simkernel"
+	"repro/internal/simnet"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// Two equal flows on one link: rates 50/50, then the survivor jumps to
+// 100 — the canonical fair-share timeline.
+func recordedScenario(t *testing.T) (*Recorder, float64) {
+	t.Helper()
+	sim := simkernel.New()
+	net := simnet.New(sim)
+	rec := NewRecorder()
+	net.Observe(rec.Hook())
+	l := net.AddResource("link", 100)
+	net.Start(&simnet.Flow{Name: "a", Volume: 100, Usage: map[*simnet.Resource]float64{l: 1}})
+	net.Start(&simnet.Flow{Name: "b", Volume: 300, Usage: map[*simnet.Resource]float64{l: 1}})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return rec, float64(sim.Now())
+}
+
+func TestRecorderSeries(t *testing.T) {
+	rec, end := recordedScenario(t)
+	if !almost(end, 4, 1e-9) {
+		t.Fatalf("end = %v", end)
+	}
+	a := rec.Series("a")
+	// a: 100 at t=0 (alone for an instant), then 50 when b starts (same
+	// instant, superseded), 0 at t=2. Same-instant events coalesce, so the
+	// first point must already be the 50 share.
+	if len(a) != 2 {
+		t.Fatalf("series a = %+v", a)
+	}
+	if a[0].At != 0 || !almost(a[0].Rate, 50, 1e-9) {
+		t.Fatalf("a[0] = %+v, want rate 50 at t=0", a[0])
+	}
+	if !almost(a[1].At, 2, 1e-9) || a[1].Rate != 0 {
+		t.Fatalf("a[1] = %+v, want rate 0 at t=2", a[1])
+	}
+	b := rec.Series("b")
+	// b: 50 at 0, 100 at 2, 0 at 4.
+	if len(b) != 3 {
+		t.Fatalf("series b = %+v", b)
+	}
+	if !almost(b[1].At, 2, 1e-9) || !almost(b[1].Rate, 100, 1e-9) {
+		t.Fatalf("b[1] = %+v", b[1])
+	}
+}
+
+func TestRecorderVolumeConservation(t *testing.T) {
+	rec, end := recordedScenario(t)
+	if v := rec.Volume("a", end); !almost(v, 100, 1e-6) {
+		t.Fatalf("volume a = %v, want 100", v)
+	}
+	if v := rec.Volume("b", end); !almost(v, 300, 1e-6) {
+		t.Fatalf("volume b = %v, want 300", v)
+	}
+}
+
+func TestRecorderAggregate(t *testing.T) {
+	rec, _ := recordedScenario(t)
+	agg := rec.Aggregate()
+	// Aggregate: 100 from t=0 (both at 50), stays 100 at t=2 (a drops, b
+	// jumps), 0 at t=4. Rate-unchanged points are merged.
+	if len(agg) != 2 {
+		t.Fatalf("aggregate = %+v", agg)
+	}
+	if agg[0].At != 0 || !almost(agg[0].Rate, 100, 1e-9) {
+		t.Fatalf("agg[0] = %+v", agg[0])
+	}
+	if !almost(agg[1].At, 4, 1e-9) || agg[1].Rate != 0 {
+		t.Fatalf("agg[1] = %+v", agg[1])
+	}
+}
+
+func TestRecorderFilter(t *testing.T) {
+	rec := NewRecorder()
+	rec.Filter = func(name string) bool { return strings.HasPrefix(name, "keep") }
+	rec.Record(0, "keep/x", 10)
+	rec.Record(0, "drop/y", 10)
+	if len(rec.Flows()) != 1 || rec.Flows()[0] != "keep/x" {
+		t.Fatalf("flows = %v", rec.Flows())
+	}
+}
+
+func TestRecorderReset(t *testing.T) {
+	rec, _ := recordedScenario(t)
+	rec.Reset()
+	if len(rec.Flows()) != 0 {
+		t.Fatal("reset did not clear flows")
+	}
+	if rec.Volume("a", 10) != 0 {
+		t.Fatal("reset did not clear volumes")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	rec, end := recordedScenario(t)
+	s := rec.Sparkline("b", end, 20)
+	if len(s) != 20 {
+		t.Fatalf("width = %d", len(s))
+	}
+	// b runs at half rate then full rate: the strip must get denser.
+	first, last := s[0], s[15]
+	order := " .:-=+*#%@"
+	if strings.IndexByte(order, first) >= strings.IndexByte(order, last) {
+		t.Fatalf("sparkline not increasing: %q", s)
+	}
+	if rec.Sparkline("missing", end, 20) != "" {
+		t.Fatal("unknown flow produced a sparkline")
+	}
+	if rec.Sparkline("b", 0, 20) != "" {
+		t.Fatal("zero end produced a sparkline")
+	}
+}
+
+func TestSummaryMentionsAllFlows(t *testing.T) {
+	rec, end := recordedScenario(t)
+	sum := rec.Summary(end)
+	if !strings.Contains(sum, "a") || !strings.Contains(sum, "b") {
+		t.Fatalf("summary missing flows:\n%s", sum)
+	}
+}
+
+func TestSameInstantSupersedes(t *testing.T) {
+	rec := NewRecorder()
+	rec.Record(1, "f", 10)
+	rec.Record(1, "f", 20)
+	pts := rec.Series("f")
+	if len(pts) != 1 || pts[0].Rate != 20 {
+		t.Fatalf("pts = %+v, want single superseded point at rate 20", pts)
+	}
+}
+
+// The Figure 9 scenario end to end: one writer striping (1,3) over two
+// 1100 MiB/s server NICs. The trace shows the allocation's signature —
+// the flow rate is 4/3 x 1100 throughout.
+func TestFigure9Timeline(t *testing.T) {
+	sim := simkernel.New()
+	net := simnet.New(sim)
+	rec := NewRecorder()
+	net.Observe(rec.Hook())
+	s1 := net.AddResource("oss1/nic", 1100)
+	s2 := net.AddResource("oss2/nic", 1100)
+	net.Start(&simnet.Flow{
+		Name:   "w",
+		Volume: 4096,
+		Usage:  map[*simnet.Resource]float64{s1: 0.25, s2: 0.75},
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	pts := rec.Series("w")
+	if !almost(pts[0].Rate, 4.0/3.0*1100, 1e-6) {
+		t.Fatalf("rate = %v, want 1466.7", pts[0].Rate)
+	}
+	if v := rec.Volume("w", float64(sim.Now())); !almost(v, 4096, 1e-6) {
+		t.Fatalf("volume = %v", v)
+	}
+}
