@@ -1,0 +1,41 @@
+package beegfs
+
+import "fmt"
+
+// UnavailableError reports that an I/O op cannot be issued right now
+// because a stripe carrying bytes has no available replica. With retries
+// enabled the client backs off and re-checks; with retries disabled the
+// error surfaces to the caller immediately.
+type UnavailableError struct {
+	Path   string
+	Stripe int
+	Read   bool
+}
+
+// Error implements error.
+func (e *UnavailableError) Error() string {
+	kind := "write"
+	if e.Read {
+		kind = "read"
+	}
+	return fmt.Sprintf("beegfs: stripe %d of %q has no available replica for %s", e.Stripe, e.Path, kind)
+}
+
+// IOFailedError is the structured terminal error of a write or read whose
+// retry budget is exhausted, or that was aborted by a fault with retries
+// disabled. It is delivered through WriteOp.OnError — mid-run I/O failures
+// never panic.
+type IOFailedError struct {
+	Path     string
+	Op       string // "write" or "read"
+	Attempts int
+	Reason   error
+}
+
+// Error implements error.
+func (e *IOFailedError) Error() string {
+	return fmt.Sprintf("beegfs: %s of %q failed after %d retries: %v", e.Op, e.Path, e.Attempts, e.Reason)
+}
+
+// Unwrap exposes the underlying reason.
+func (e *IOFailedError) Unwrap() error { return e.Reason }

@@ -11,8 +11,10 @@
 package beegfs
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/rng"
 	"repro/internal/simkernel"
@@ -64,6 +66,18 @@ type Config struct {
 	// (Figure 12). ClientA = 0 disables the bound.
 	ClientA     float64
 	ClientGamma float64
+	// RetryTimeout is the virtual-time delay (seconds) before an I/O op
+	// aborted by a resource failure is re-issued. Zero disables retries:
+	// an aborted or non-issuable op fails immediately.
+	RetryTimeout float64
+	// RetryBackoffBase seeds the capped exponential backoff added on top
+	// of RetryTimeout from the second retry on: retry k waits
+	// RetryTimeout + min(RetryBackoffBase·2^(k-2), 60·RetryBackoffBase).
+	// Zero falls back to RetryTimeout.
+	RetryBackoffBase float64
+	// RetryMax bounds the number of re-issues per op; once exhausted the
+	// op fails with an *IOFailedError delivered to WriteOp.OnError.
+	RetryMax int
 }
 
 // Validate reports configuration errors.
@@ -95,6 +109,9 @@ func (c Config) Validate() error {
 	if c.ClientA < 0 || c.ClientGamma < 0 || c.ClientGamma > 1 {
 		return fmt.Errorf("beegfs: bad client ramp parameters")
 	}
+	if c.RetryTimeout < 0 || c.RetryBackoffBase < 0 || c.RetryMax < 0 {
+		return fmt.Errorf("beegfs: negative retry parameters")
+	}
 	return nil
 }
 
@@ -116,6 +133,14 @@ type FileSystem struct {
 	activeClients   int
 	// mirrorCursor rotates buddy-group selection (CreateMirrored).
 	mirrorCursor int
+	// nicDown marks storage hosts whose network link is down (fault
+	// injection); their NIC resource is pinned to zero capacity and their
+	// targets are unavailable to new I/O until the link recovers.
+	nicDown map[*storagesim.Host]bool
+	// dirty indexes mirrored files with degraded writes awaiting resync.
+	dirty map[string]*File
+	// resynced accumulates the bytes re-copied by completed resync flows.
+	resynced int64
 }
 
 // New builds a deployment. The target registration order is PlaFRIM's when
@@ -156,7 +181,15 @@ func New(sim *simkernel.Simulation, net *simnet.Network, cfg Config) (*FileSyste
 		mgmtd:     mgmtd,
 		meta:      meta,
 		serverNIC: make(map[*storagesim.Host]*simnet.Resource),
+		nicDown:   make(map[*storagesim.Host]bool),
+		dirty:     make(map[string]*File),
 	}
+	// A target coming back online may unblock pending mirror resyncs.
+	mgmtd.Subscribe(func(t *storagesim.Target, online bool) {
+		if online {
+			fs.startResyncs()
+		}
+	})
 	if cfg.ServerNICCapacity > 0 {
 		for _, h := range sys.Hosts() {
 			fs.serverNIC[h] = net.AddResource(h.Name+"/nic", cfg.ServerNICCapacity)
@@ -259,12 +292,24 @@ func (fs *FileSystem) Create(path string, src *rng.Source) (*File, error) {
 	return fs.CreateWithPattern(path, fs.meta.PatternFor(path), src)
 }
 
-// CreateWithPattern creates a file with an explicit stripe pattern.
+// CreateWithPattern creates a file with an explicit stripe pattern. When
+// fewer targets are online than the pattern requests, the stripe count
+// degrades to the online count (BeeGFS behaviour: desired numtargets is a
+// maximum, not a requirement); with no online targets at all the create
+// fails with a descriptive error.
 func (fs *FileSystem) CreateWithPattern(path string, p StripePattern, src *rng.Source) (*File, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	targets, err := fs.cfg.Chooser.Choose(p.Count, fs.mgmtd.Online(), src)
+	online := fs.mgmtd.Online()
+	if len(online) == 0 {
+		return nil, fmt.Errorf("beegfs: cannot create %q: all %d registered storage targets are offline",
+			path, len(fs.mgmtd.All()))
+	}
+	if p.Count > len(online) {
+		p.Count = len(online)
+	}
+	targets, err := fs.cfg.Chooser.Choose(p.Count, online, src)
 	if err != nil {
 		return nil, err
 	}
@@ -319,6 +364,14 @@ type WriteOp struct {
 	// OnComplete fires when the last byte has been written AND the
 	// process's serial per-transfer overhead has elapsed.
 	OnComplete func(at simkernel.Time)
+	// OnError fires when the op fails terminally: its retry budget is
+	// exhausted, or a fault aborted it with retries disabled. Exactly one
+	// of OnComplete/OnError fires per started op. Ops without a handler
+	// fail silently (the benchmark layer always installs one).
+	OnError func(err error)
+
+	// attempts counts fault-triggered re-issues of this op.
+	attempts int
 }
 
 func (op *WriteOp) procs() int {
@@ -358,6 +411,22 @@ func (fs *FileSystem) StartWrite(op *WriteOp) (*simnet.Flow, error) {
 // The region must lie within the file's written size.
 func (fs *FileSystem) StartRead(op *WriteOp) (*simnet.Flow, error) {
 	return fs.startIO(op, true)
+}
+
+// ioPlan captures everything needed to (re-)issue an op's flow after a
+// fault-induced abort. The striping distribution is fixed when the op is
+// first validated, so a retry re-issues exactly the remaining volume with
+// the same per-target proportions.
+type ioPlan struct {
+	op       *WriteOp
+	read     bool
+	app      string
+	depth    float64
+	dist     []int64
+	totalLen int64
+	maxEnd   int64
+	overhead float64
+	baseName string
 }
 
 func (fs *FileSystem) startIO(op *WriteOp, read bool) (*simnet.Flow, error) {
@@ -400,51 +469,82 @@ func (fs *FileSystem) startIO(op *WriteOp, read bool) (*simnet.Flow, error) {
 	if app == "" {
 		app = "default"
 	}
-	depth := op.perTargetDepth()
-	// Select the targets this op touches: writes hit primaries AND buddy
-	// mirrors (the primary forwards every chunk to its secondary); reads
-	// hit primaries with per-stripe failover.
-	targets := op.File.Targets
-	var mirrors []*storagesim.Target
-	if read {
-		var err error
-		if targets, err = fs.readTargets(op.File); err != nil {
-			return nil, err
+	// Per-transfer request overhead is paid serially by each rank, and
+	// ranks proceed in parallel, so a coalesced op divides it by Procs.
+	nTransfers := (totalLen + op.TransferSize - 1) / op.TransferSize
+	var maxEnd int64
+	for _, reg := range regions {
+		if end := reg.Offset + reg.Length; end > maxEnd {
+			maxEnd = end
 		}
-	} else if op.File.Mirrored() {
-		mirrors = op.File.mirrors
 	}
-	// Acquire every target of the file (BeeGFS opens sessions on all
-	// stripe targets), even those receiving no bytes from this region.
-	for _, t := range targets {
-		t.Acquire(app, depth)
+	plan := &ioPlan{
+		op:       op,
+		read:     read,
+		app:      app,
+		depth:    op.perTargetDepth(),
+		dist:     dist,
+		totalLen: totalLen,
+		maxEnd:   maxEnd,
+		overhead: float64(nTransfers) * fs.cfg.TransferLatency / float64(op.procs()),
+		baseName: fmt.Sprintf("%s/%s@%d", app, op.File.Path, regions[0].Offset),
 	}
-	for _, t := range mirrors {
-		t.Acquire(app, depth)
+	flow, err := fs.issue(plan, float64(totalLen)/float64(MiB))
+	if err != nil {
+		var unavail *UnavailableError
+		if errors.As(err, &unavail) && fs.cfg.RetryTimeout > 0 {
+			// Not viable right now: queue the first issue behind the retry
+			// machinery instead of failing synchronously. The caller gets a
+			// nil flow; completion still arrives via OnComplete/OnError.
+			fs.retryLater(plan, float64(totalLen)/float64(MiB))
+			return nil, nil
+		}
+		return nil, err
+	}
+	return flow, nil
+}
+
+// issue starts (or re-starts) the flow for volMiB of the plan's volume
+// against the currently available replicas. It returns an
+// *UnavailableError without side effects when a stripe carrying bytes has
+// no available replica.
+func (fs *FileSystem) issue(plan *ioPlan, volMiB float64) (*simnet.Flow, error) {
+	op := plan.op
+	primaries, secondaries, err := fs.selectReplicas(op.File, plan.read, plan.dist)
+	if err != nil {
+		return nil, err
+	}
+	// Acquire every available target of the file (BeeGFS opens sessions on
+	// all stripe targets), even those receiving no bytes from this region.
+	for _, t := range primaries {
+		if t != nil {
+			t.Acquire(plan.app, plan.depth)
+		}
+	}
+	for _, t := range secondaries {
+		if t != nil {
+			t.Acquire(plan.app, plan.depth)
+		}
 	}
 	usage := make(map[*simnet.Resource]float64)
-	total := float64(totalLen)
+	total := float64(plan.totalLen)
 	if total > 0 {
 		hostShare := make(map[*storagesim.Host]float64)
-		for i, t := range targets {
-			if dist[i] == 0 {
-				continue
+		addSide := func(targets []*storagesim.Target) {
+			for i, t := range targets {
+				if t == nil || plan.dist[i] == 0 {
+					continue
+				}
+				w := float64(plan.dist[i]) / total
+				usage[t.Resource()] += w
+				hostShare[t.Host()] += w
 			}
-			w := float64(dist[i]) / total
-			usage[t.Resource()] += w
-			hostShare[t.Host()] += w
 		}
+		addSide(primaries)
 		// Mirrored writes consume the same bandwidth again on the
 		// secondaries (server-side forwarding; the client link carries the
 		// data once).
-		for i, t := range mirrors {
-			if dist[i] == 0 {
-				continue
-			}
-			w := float64(dist[i]) / total
-			usage[t.Resource()] += w
-			hostShare[t.Host()] += w
-		}
+		addSide(secondaries)
 		for h, w := range hostShare {
 			usage[h.Controller()] += w
 			if nic := fs.serverNIC[h]; nic != nil {
@@ -463,48 +563,348 @@ func (fs *FileSystem) startIO(op *WriteOp, read bool) (*simnet.Flow, error) {
 		}
 	}
 	fs.noteClientOps(op.Client, 1)
-	// Per-transfer request overhead is paid serially by each rank, and
-	// ranks proceed in parallel, so a coalesced op divides it by Procs.
-	nTransfers := (totalLen + op.TransferSize - 1) / op.TransferSize
-	overhead := float64(nTransfers) * fs.cfg.TransferLatency / float64(op.procs())
-	var maxEnd int64
-	for _, reg := range regions {
-		if end := reg.Offset + reg.Length; end > maxEnd {
-			maxEnd = end
-		}
+	name := plan.baseName
+	if op.attempts > 0 {
+		name = fmt.Sprintf("%s#r%d", plan.baseName, op.attempts)
 	}
 	flow := &simnet.Flow{
-		Name:   fmt.Sprintf("%s/%s@%d", app, op.File.Path, regions[0].Offset),
-		Volume: total / float64(MiB),
+		Name:   name,
+		Volume: volMiB,
 		Cap:    op.RateCap,
 		Usage:  usage,
 	}
+	release := func() {
+		fs.noteClientOps(op.Client, -1)
+		for _, t := range primaries {
+			if t != nil {
+				t.Release(plan.app, plan.depth)
+			}
+		}
+		for _, t := range secondaries {
+			if t != nil {
+				t.Release(plan.app, plan.depth)
+			}
+		}
+	}
 	flow.OnComplete = func(at simkernel.Time) {
 		finish := func() {
-			fs.noteClientOps(op.Client, -1)
-			for _, t := range targets {
-				t.Release(app, depth)
-			}
-			for _, t := range mirrors {
-				t.Release(app, depth)
-			}
-			if !read && op.File.Size < maxEnd {
-				op.File.Size = maxEnd
-				fs.accountStorage(op.File)
+			release()
+			if !plan.read {
+				fs.noteDegradedWrite(op.File, plan, primaries, secondaries, volMiB)
+				if op.File.Size < plan.maxEnd {
+					op.File.Size = plan.maxEnd
+					fs.accountStorage(op.File)
+				}
 			}
 			if op.OnComplete != nil {
 				op.OnComplete(fs.sim.Now())
 			}
 		}
-		if overhead > 0 {
-			fs.sim.After(overhead, finish)
+		if plan.overhead > 0 {
+			fs.sim.After(plan.overhead, finish)
 		} else {
 			finish()
 		}
 	}
+	flow.OnAbort = func(at simkernel.Time) {
+		release()
+		fs.retryLater(plan, flow.Remaining())
+	}
 	fs.net.Start(flow)
 	return flow, nil
 }
+
+// targetAvailable reports whether new I/O may be directed at t: the
+// management service considers it online, neither the target nor its host
+// has failed, and the host's network link is up.
+func (fs *FileSystem) targetAvailable(t *storagesim.Target) bool {
+	return fs.mgmtd.IsOnline(t.ID) && !t.Failed() && !t.Host().Failed() && !fs.nicDown[t.Host()]
+}
+
+// selectReplicas returns the replica targets an op may use, as slices
+// aligned with the stripe index (nil = that side skipped). Reads apply
+// per-stripe failover and return their chosen source in primaries. It
+// errors with an *UnavailableError when a stripe carrying bytes has no
+// available replica.
+func (fs *FileSystem) selectReplicas(f *File, read bool, dist []int64) ([]*storagesim.Target, []*storagesim.Target, error) {
+	n := len(f.Targets)
+	primaries := make([]*storagesim.Target, n)
+	var secondaries []*storagesim.Target
+	if !read && f.Mirrored() {
+		secondaries = make([]*storagesim.Target, n)
+	}
+	for i, t := range f.Targets {
+		pOK := fs.targetAvailable(t)
+		sOK := f.Mirrored() && fs.targetAvailable(f.mirrors[i])
+		carries := i >= len(dist) || dist[i] > 0
+		if read {
+			switch {
+			case pOK:
+				primaries[i] = t
+			case sOK:
+				primaries[i] = f.mirrors[i]
+			case carries:
+				return nil, nil, &UnavailableError{Path: f.Path, Stripe: i, Read: true}
+			}
+			continue
+		}
+		if pOK {
+			primaries[i] = t
+		}
+		if secondaries != nil && sOK {
+			secondaries[i] = f.mirrors[i]
+		}
+		if primaries[i] == nil && (secondaries == nil || secondaries[i] == nil) && carries {
+			return nil, nil, &UnavailableError{Path: f.Path, Stripe: i}
+		}
+	}
+	return primaries, secondaries, nil
+}
+
+// retryDelay returns the virtual-time wait before re-issue number attempt:
+// the plain timeout first, then timeout plus capped exponential backoff.
+func (fs *FileSystem) retryDelay(attempt int) float64 {
+	if attempt <= 1 {
+		return fs.cfg.RetryTimeout
+	}
+	base := fs.cfg.RetryBackoffBase
+	if base <= 0 {
+		base = fs.cfg.RetryTimeout
+	}
+	d := base * math.Pow(2, float64(attempt-2))
+	if max := 60 * base; d > max {
+		d = max
+	}
+	return fs.cfg.RetryTimeout + d
+}
+
+// retryLater schedules the plan's remaining volume for re-issue after the
+// retry delay, or fails the op when retries are disabled or exhausted. A
+// re-issue attempt that still finds no viable replica consumes another
+// attempt and backs off further.
+func (fs *FileSystem) retryLater(plan *ioPlan, remainingMiB float64) {
+	op := plan.op
+	if fs.cfg.RetryTimeout <= 0 {
+		fs.failOp(plan, fmt.Errorf("aborted by resource failure with retries disabled"))
+		return
+	}
+	if op.attempts >= fs.cfg.RetryMax {
+		fs.failOp(plan, fmt.Errorf("retry budget exhausted"))
+		return
+	}
+	op.attempts++
+	fs.sim.After(fs.retryDelay(op.attempts), func() {
+		if _, err := fs.issue(plan, remainingMiB); err != nil {
+			fs.retryLater(plan, remainingMiB)
+		}
+	})
+}
+
+// failOp delivers the op's terminal error. Without an OnError handler the
+// failure is silent (but never a panic): the op simply never completes,
+// which the benchmark layer surfaces as a drained simulation.
+func (fs *FileSystem) failOp(plan *ioPlan, reason error) {
+	op := plan.op
+	kind := "write"
+	if plan.read {
+		kind = "read"
+	}
+	if op.OnError != nil {
+		op.OnError(&IOFailedError{Path: op.File.Path, Op: kind, Attempts: op.attempts, Reason: reason})
+	}
+}
+
+// noteDegradedWrite records the bytes a completed write could place on
+// only one side of a buddy mirror, and kicks off a resync if the missing
+// replicas are already back.
+func (fs *FileSystem) noteDegradedWrite(f *File, plan *ioPlan, primaries, secondaries []*storagesim.Target, volMiB float64) {
+	if !f.Mirrored() {
+		return
+	}
+	frac := 1.0
+	if plan.totalLen > 0 {
+		frac = volMiB * float64(MiB) / float64(plan.totalLen)
+		if frac > 1 {
+			frac = 1
+		}
+	}
+	dirtied := false
+	for i := range f.Targets {
+		if plan.dist[i] == 0 {
+			continue
+		}
+		bytes := int64(frac * float64(plan.dist[i]))
+		if bytes == 0 {
+			continue
+		}
+		if primaries[i] == nil || secondaries[i] == nil {
+			if f.dirtyP == nil {
+				f.dirtyP = make([]int64, len(f.Targets))
+				f.dirtyS = make([]int64, len(f.Targets))
+			}
+			if primaries[i] == nil {
+				f.dirtyP[i] += bytes
+			}
+			if secondaries[i] == nil {
+				f.dirtyS[i] += bytes
+			}
+			dirtied = true
+		}
+	}
+	if dirtied {
+		fs.dirty[f.Path] = f
+		fs.startResync(f)
+	}
+}
+
+// startResyncs scans dirty files in path order and starts a resync flow
+// for each whose replicas are all available again. Fired on every target
+// recovery and NIC restoration.
+func (fs *FileSystem) startResyncs() {
+	paths := make([]string, 0, len(fs.dirty))
+	for p := range fs.dirty {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		fs.startResync(fs.dirty[p])
+	}
+}
+
+// startResync re-copies a file's dirtied stripe bytes from the replica
+// that took the degraded write to the one that missed it, as a single
+// server-side flow loading both replicas (and their hosts). It is a no-op
+// while a resync is already running or any needed replica is unavailable.
+func (fs *FileSystem) startResync(f *File) {
+	if f.resyncing {
+		return
+	}
+	total := f.DirtyBytes()
+	if total == 0 {
+		delete(fs.dirty, f.Path)
+		return
+	}
+	for i := range f.Targets {
+		if f.dirtyP[i] == 0 && f.dirtyS[i] == 0 {
+			continue
+		}
+		// The copy reads the good replica and writes the recovered one, so
+		// both sides must be available.
+		if !fs.targetAvailable(f.Targets[i]) || !fs.targetAvailable(f.mirrors[i]) {
+			return
+		}
+	}
+	const app = "resync"
+	const depth = 1.0
+	var acquired []*storagesim.Target
+	seen := make(map[*storagesim.Target]bool)
+	usage := make(map[*simnet.Resource]float64)
+	hostShare := make(map[*storagesim.Host]float64)
+	tf := float64(total)
+	addPair := func(src, dst *storagesim.Target, bytes int64) {
+		if bytes == 0 {
+			return
+		}
+		w := float64(bytes) / tf
+		for _, t := range [2]*storagesim.Target{src, dst} {
+			usage[t.Resource()] += w
+			hostShare[t.Host()] += w
+			if !seen[t] {
+				seen[t] = true
+				acquired = append(acquired, t)
+			}
+		}
+	}
+	for i := range f.Targets {
+		addPair(f.mirrors[i], f.Targets[i], f.dirtyP[i])
+		addPair(f.Targets[i], f.mirrors[i], f.dirtyS[i])
+	}
+	for h, w := range hostShare {
+		usage[h.Controller()] += w
+		if nic := fs.serverNIC[h]; nic != nil {
+			usage[nic] += w
+		}
+	}
+	for _, t := range acquired {
+		t.Acquire(app, depth)
+	}
+	f.resyncing = true
+	clearedP := append([]int64(nil), f.dirtyP...)
+	clearedS := append([]int64(nil), f.dirtyS...)
+	flow := &simnet.Flow{
+		Name:   "resync/" + f.Path,
+		Volume: tf / float64(MiB),
+		Usage:  usage,
+	}
+	release := func() {
+		for _, t := range acquired {
+			t.Release(app, depth)
+		}
+		f.resyncing = false
+	}
+	flow.OnComplete = func(at simkernel.Time) {
+		release()
+		for i := range clearedP {
+			f.dirtyP[i] -= clearedP[i]
+			f.dirtyS[i] -= clearedS[i]
+			if f.dirtyP[i] < 0 {
+				f.dirtyP[i] = 0
+			}
+			if f.dirtyS[i] < 0 {
+				f.dirtyS[i] = 0
+			}
+		}
+		fs.resynced += total
+		if f.DirtyBytes() == 0 {
+			delete(fs.dirty, f.Path)
+			return
+		}
+		// Concurrent degraded writes dirtied more bytes while we copied.
+		fs.startResync(f)
+	}
+	flow.OnAbort = func(at simkernel.Time) {
+		// A fault hit mid-resync; the dirt stays recorded and the next
+		// recovery event restarts the copy.
+		release()
+	}
+	fs.net.Start(flow)
+}
+
+// ResyncedBytes returns the total bytes re-copied by completed mirror
+// resyncs.
+func (fs *FileSystem) ResyncedBytes() int64 { return fs.resynced }
+
+// DirtyFiles returns the number of mirrored files with writes awaiting
+// resync.
+func (fs *FileSystem) DirtyFiles() int { return len(fs.dirty) }
+
+// SetNICDown fails (true) or restores (false) a storage host's network
+// link: the NIC resource capacity is pinned to zero and the host's targets
+// become unavailable to new I/O. Restoring the link re-checks pending
+// mirror resyncs.
+func (fs *FileSystem) SetNICDown(h *storagesim.Host, down bool) {
+	if fs.nicDown[h] == down {
+		return
+	}
+	if down {
+		fs.nicDown[h] = true
+	} else {
+		delete(fs.nicDown, h)
+	}
+	if nic := fs.serverNIC[h]; nic != nil {
+		if down {
+			fs.net.SetCapacity(nic, 0)
+		} else {
+			fs.net.SetCapacity(nic, fs.cfg.ServerNICCapacity)
+		}
+	}
+	if !down {
+		fs.startResyncs()
+	}
+}
+
+// NICDown reports whether the host's network link is failed.
+func (fs *FileSystem) NICDown(h *storagesim.Host) bool { return fs.nicDown[h] }
 
 // precheckCapacity rejects writes that would overflow a stripe target,
 // projecting the file's dense size after the regions complete. Concurrent
@@ -589,6 +989,8 @@ func (fs *FileSystem) Remove(path string) error {
 			t.Free(f.storedM[i])
 		}
 	}
+	// A deleted file has nothing left to resync.
+	delete(fs.dirty, path)
 	return fs.meta.Remove(path)
 }
 

@@ -92,31 +92,6 @@ func (f *File) MirrorIDs() []int {
 	return ids
 }
 
-// readTargets returns the targets a read should use: primaries, with
-// per-stripe failover to the secondary when the primary is offline.
-func (fs *FileSystem) readTargets(f *File) ([]*storagesim.Target, error) {
-	if !f.Mirrored() {
-		return f.Targets, nil
-	}
-	out := make([]*storagesim.Target, len(f.Targets))
-	for i, t := range f.Targets {
-		switch {
-		case fs.isOnline(t):
-			out[i] = t
-		case fs.isOnline(f.mirrors[i]):
-			out[i] = f.mirrors[i]
-		default:
-			return nil, fmt.Errorf("beegfs: stripe %d of %q has no online replica", i, f.Path)
-		}
-	}
-	return out, nil
-}
-
-func (fs *FileSystem) isOnline(t *storagesim.Target) bool {
-	for _, o := range fs.mgmtd.Online() {
-		if o == t {
-			return true
-		}
-	}
-	return false
-}
+// Read failover (primaries with per-stripe fallback to the secondary) and
+// degraded-write selection both live in FileSystem.selectReplicas (fs.go),
+// which also consults target/host failure state and NIC health.

@@ -202,3 +202,74 @@ func TestMirroredCapacityDoubleAccounted(t *testing.T) {
 		t.Fatal("mirrored space not freed")
 	}
 }
+
+// Degraded-mode write failover: with the primary down, writes land on the
+// buddy secondary alone, the file accumulates dirty (un-replicated) bytes,
+// and recovery triggers a resync that copies them back to the primary.
+func TestMirroredWriteFailover(t *testing.T) {
+	sim, fs := newFS(t, testConfig())
+	client := fs.NewClient("n1", 0)
+	f, err := fs.CreateMirrored("/m", 1, 512*KiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary := f.Targets[0]
+	secondary := fs.Storage().TargetByID(f.MirrorIDs()[0])
+
+	// Take the primary down before the write starts.
+	if err := fs.Mgmtd().SetOnline(primary.ID, false); err != nil {
+		t.Fatal(err)
+	}
+	primary.SetFailed(true)
+
+	vol := int64(1764) * MiB
+	var done simkernel.Time
+	if _, err := fs.StartWrite(&WriteOp{
+		Client: client, File: f, Length: vol, TransferSize: MiB,
+		OnComplete: func(at simkernel.Time) { done = at },
+		OnError:    func(err error) { t.Errorf("degraded write failed: %v", err) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// One surviving replica at SingleTargetRate: 1764 MiB in 1s — the
+	// degraded write is NOT slowed by the dead primary.
+	if !almost(float64(done), 1, 1e-6) {
+		t.Fatalf("degraded write finished at %v, want 1s", done)
+	}
+	if f.DirtyBytes() != vol {
+		t.Fatalf("dirty bytes = %d, want %d", f.DirtyBytes(), vol)
+	}
+	if fs.DirtyFiles() != 1 {
+		t.Fatalf("dirty files = %d, want 1", fs.DirtyFiles())
+	}
+	if primary.Writers() != 0 || secondary.Writers() != 0 {
+		t.Fatal("writers not released after degraded write")
+	}
+
+	// Recovery: the mgmtd subscription kicks off the resync, which copies
+	// the dirty bytes from the secondary back to the primary.
+	primary.SetFailed(false)
+	if err := fs.Mgmtd().SetOnline(primary.ID, true); err != nil {
+		t.Fatal(err)
+	}
+	resyncStart := sim.Now()
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if f.DirtyBytes() != 0 || fs.DirtyFiles() != 0 {
+		t.Fatalf("post-resync dirty = %d bytes in %d files", f.DirtyBytes(), fs.DirtyFiles())
+	}
+	if fs.ResyncedBytes() != vol {
+		t.Fatalf("resynced bytes = %d, want %d", fs.ResyncedBytes(), vol)
+	}
+	// Source and sink both run at SingleTargetRate: the copy takes 1s.
+	if !almost(float64(sim.Now()-resyncStart), 1, 1e-6) {
+		t.Fatalf("resync took %v, want 1s", sim.Now()-resyncStart)
+	}
+	if primary.Writers() != 0 || secondary.Writers() != 0 {
+		t.Fatal("writers not released after resync")
+	}
+}

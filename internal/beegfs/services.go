@@ -12,8 +12,9 @@ import (
 // targets, their registration order (which drives the round-robin chooser)
 // and their online/offline state (used by the failure-injection tests).
 type Mgmtd struct {
-	order   []*storagesim.Target
-	offline map[int]bool
+	order       []*storagesim.Target
+	offline     map[int]bool
+	subscribers []func(t *storagesim.Target, online bool)
 }
 
 // NewMgmtd registers the targets in the given order. The order matters:
@@ -89,15 +90,42 @@ func (m *Mgmtd) All() []*storagesim.Target {
 	return append([]*storagesim.Target(nil), m.order...)
 }
 
+// IsOnline reports whether the target with the given ID is online. Unknown
+// IDs report false.
+func (m *Mgmtd) IsOnline(id int) bool {
+	if m.offline[id] {
+		return false
+	}
+	for _, t := range m.order {
+		if t.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Subscribe registers a callback fired whenever a target's online state
+// actually changes (redundant SetOnline calls do not fire). The file
+// system uses it to kick off mirror resyncs on recovery.
+func (m *Mgmtd) Subscribe(fn func(t *storagesim.Target, online bool)) {
+	m.subscribers = append(m.subscribers, fn)
+}
+
 // SetOnline marks a target online (true) or offline (false). Unknown IDs
 // return an error.
 func (m *Mgmtd) SetOnline(id int, online bool) error {
 	for _, t := range m.order {
 		if t.ID == id {
+			changed := m.offline[id] == online
 			if online {
 				delete(m.offline, id)
 			} else {
 				m.offline[id] = true
+			}
+			if changed {
+				for _, fn := range m.subscribers {
+					fn(t, online)
+				}
 			}
 			return nil
 		}
@@ -119,6 +147,26 @@ type File struct {
 	// created with CreateMirrored; storedM mirrors the accounting.
 	mirrors []*storagesim.Target
 	storedM []int64
+	// dirtyP/dirtyS track bytes written while the primary/secondary replica
+	// of stripe i was unavailable (degraded writes). A resync flow re-copies
+	// them once both replicas are back.
+	dirtyP []int64
+	dirtyS []int64
+	// resyncing marks an in-flight resync flow for the file, so recovery
+	// events don't start a second one.
+	resyncing bool
+}
+
+// DirtyBytes returns the total bytes awaiting mirror resync.
+func (f *File) DirtyBytes() int64 {
+	var sum int64
+	for _, b := range f.dirtyP {
+		sum += b
+	}
+	for _, b := range f.dirtyS {
+		sum += b
+	}
+	return sum
 }
 
 // StoredOn returns the bytes accounted on the i-th stripe target.

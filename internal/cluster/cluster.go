@@ -86,6 +86,13 @@ func PlaFRIM(s Scenario) Platform {
 		CreateLatency:  0.02,
 		OpenLatency:    0.005,
 		PpnSat:         8,
+		// Client retry policy under fault injection: first re-issue after
+		// 0.5 s of virtual time, then capped exponential backoff, up to 8
+		// attempts (~65 s budget — outlasts transient outages, fails fast
+		// on permanent ones).
+		RetryTimeout:     0.5,
+		RetryBackoffBase: 0.5,
+		RetryMax:         8,
 	}
 	p := Platform{
 		FS:                fs,
@@ -136,6 +143,9 @@ func Custom(name string, nHosts, targetsPerHost int, linkRate float64, chooser b
 		OpenLatency:       0.005,
 		PpnSat:            8,
 		ServerNICCapacity: linkRate * protocolEfficiency,
+		RetryTimeout:      0.5,
+		RetryBackoffBase:  0.5,
+		RetryMax:          8,
 	}
 	if fs.DefaultPattern.Count > nHosts*targetsPerHost {
 		fs.DefaultPattern.Count = nHosts * targetsPerHost
@@ -198,6 +208,13 @@ func (d *Deployment) ReJitter(src *rng.Source) {
 	d.FS.Storage().ReJitter(src)
 	if d.serverNICBase > 0 && d.Platform.ServerNICJitterCV > 0 {
 		for _, h := range d.FS.Storage().Hosts() {
+			if d.FS.NICDown(h) {
+				// A failed link stays at zero capacity; the jitter draw is
+				// still consumed so the rng stream (and hence determinism)
+				// does not depend on fault timing.
+				src.LogNormal(1, d.Platform.ServerNICJitterCV)
+				continue
+			}
 			if nic := d.FS.ServerNIC(h); nic != nil {
 				d.Net.SetCapacity(nic, d.serverNICBase*src.LogNormal(1, d.Platform.ServerNICJitterCV))
 			}
@@ -210,6 +227,9 @@ func (d *Deployment) ResetJitter() {
 	d.FS.Storage().ResetJitter()
 	if d.serverNICBase > 0 {
 		for _, h := range d.FS.Storage().Hosts() {
+			if d.FS.NICDown(h) {
+				continue
+			}
 			if nic := d.FS.ServerNIC(h); nic != nil {
 				d.Net.SetCapacity(nic, d.serverNICBase)
 			}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/ior"
 	"repro/internal/rng"
 	"repro/internal/simkernel"
@@ -119,6 +120,13 @@ type Campaign struct {
 	// Interference, when non-nil, injects transient capacity-loss events
 	// (§III-C item ii) with the configured probability per repetition.
 	Interference *Interference
+	// Faults, when non-empty, is armed at the start of every repetition
+	// with times relative to the repetition's beginning: each run then
+	// experiences the same mid-run failure/recovery script (the resilience
+	// campaign's operating mode). Runs survive via the client retry path;
+	// a run whose retry budget is exhausted fails the campaign with a
+	// structured error.
+	Faults faults.Schedule
 	// BackgroundCreateRate, when positive, emulates other users of the
 	// production system creating files (at this rate per second of
 	// virtual time) while an experiment's applications are opening
@@ -193,6 +201,11 @@ func (c Campaign) runOnce(cfg Config, rep int, src *rng.Source) (Record, error) 
 		}
 		c.Interference.arm(c, src.Split(uint64(rep)*613+11))
 	}
+	if len(c.Faults) > 0 {
+		if err := faults.NewInjector(c.Dep.FS).Arm(c.Faults); err != nil {
+			return Record{}, err
+		}
+	}
 	apps := cfg.apps()
 	nodesPerApp := cfg.Params.Nodes
 	nodes := c.Dep.Nodes(apps * nodesPerApp)
@@ -239,6 +252,9 @@ func (c Campaign) runOnce(cfg Config, rep int, src *rng.Source) (Record, error) 
 	targetUse := make(map[int]int)
 	for a, run := range runs {
 		res := run.Result()
+		if res.Err != nil {
+			return Record{}, fmt.Errorf("experiments: %s rep %d app %d failed: %w", cfg.Label, rep, a+1, res.Err)
+		}
 		ar := AppResult{
 			App:    res.Params.App,
 			Result: res,

@@ -1,0 +1,242 @@
+// Package faults injects deterministic mid-run failures into a simulated
+// BeeGFS deployment: storage targets (OSTs), storage hosts (OSSes) and
+// server network links can fail and recover at scripted virtual times.
+//
+// A failure does three things, in order: (1) it marks the component
+// offline in the management service so new files avoid it and new I/O
+// treats it as unavailable; (2) it pins the component's simnet resource
+// capacities to zero, so nothing can sneak bytes through it; (3) it aborts
+// every in-flight flow touching the failed resources, handing control to
+// the client retry path (beegfs.Config.RetryTimeout et al.). Recovery
+// reverses the state and lets the management service's subscription
+// machinery kick off pending mirror resyncs.
+//
+// Determinism contract: the same seed plus the same schedule replays
+// bit-identically — events fire in slice order at their scheduled times,
+// and flow aborts happen in name-sorted order (simnet.FlowsUsing).
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/beegfs"
+	"repro/internal/simnet"
+)
+
+// Kind selects the failed component class.
+type Kind int
+
+const (
+	// TargetFault fails a single OST, addressed by its paper-style target
+	// ID (e.g. 201).
+	TargetFault Kind = iota
+	// HostFault fails a whole storage server (all its targets, its I/O
+	// controller and its network link), addressed by 1-based host index.
+	HostFault
+	// NICFault fails only a storage server's network link (the targets
+	// stay healthy but unreachable), addressed by 1-based host index.
+	NICFault
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case TargetFault:
+		return "target"
+	case HostFault:
+		return "host"
+	case NICFault:
+		return "nic"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Action is what happens to the component.
+type Action int
+
+const (
+	// Fail takes the component down.
+	Fail Action = iota
+	// Recover brings it back.
+	Recover
+)
+
+// String implements fmt.Stringer.
+func (a Action) String() string {
+	switch a {
+	case Fail:
+		return "fail"
+	case Recover:
+		return "recover"
+	default:
+		return fmt.Sprintf("action(%d)", int(a))
+	}
+}
+
+// Event is one scripted state change.
+type Event struct {
+	// At is the virtual time (seconds) relative to when the schedule is
+	// armed.
+	At float64
+	// Kind selects the component class.
+	Kind Kind
+	// ID addresses the component: a target ID for TargetFault, a 1-based
+	// host index for HostFault and NICFault.
+	ID int
+	// Action fails or recovers the component.
+	Action Action
+}
+
+// Schedule is a deterministic script of fault events. Events are applied
+// in slice order; same-time events therefore have a well-defined order.
+type Schedule []Event
+
+// Validate checks the schedule against a deployment: non-negative times,
+// known kinds and actions, existing targets and host indexes. NIC events
+// additionally require the deployment to model server NICs
+// (Config.ServerNICCapacity > 0), since failing a link that is not a
+// resource would be a silent no-op.
+func (s Schedule) Validate(fs *beegfs.FileSystem) error {
+	for i, e := range s {
+		if e.At < 0 {
+			return fmt.Errorf("faults: event %d has negative time %v", i, e.At)
+		}
+		if e.Action != Fail && e.Action != Recover {
+			return fmt.Errorf("faults: event %d has unknown action %d", i, int(e.Action))
+		}
+		switch e.Kind {
+		case TargetFault:
+			if fs.Storage().TargetByID(e.ID) == nil {
+				return fmt.Errorf("faults: event %d addresses unknown target %d", i, e.ID)
+			}
+		case HostFault, NICFault:
+			if e.ID < 1 || e.ID > len(fs.Storage().Hosts()) {
+				return fmt.Errorf("faults: event %d addresses host %d of %d", i, e.ID, len(fs.Storage().Hosts()))
+			}
+			if e.Kind == NICFault && fs.Config().ServerNICCapacity <= 0 {
+				return fmt.Errorf("faults: event %d is a NIC fault but the deployment has no server NIC resources", i)
+			}
+		default:
+			return fmt.Errorf("faults: event %d has unknown kind %d", i, int(e.Kind))
+		}
+	}
+	return nil
+}
+
+// Injector applies fault events to a deployment.
+type Injector struct {
+	fs *beegfs.FileSystem
+}
+
+// NewInjector binds an injector to a deployment.
+func NewInjector(fs *beegfs.FileSystem) *Injector {
+	return &Injector{fs: fs}
+}
+
+// Arm validates the schedule and registers every event on the simulation
+// clock, relative to the current virtual time. Arm may be called once per
+// campaign repetition: each call schedules a fresh copy of the script.
+func (inj *Injector) Arm(s Schedule) error {
+	if err := s.Validate(inj.fs); err != nil {
+		return err
+	}
+	sim := inj.fs.Sim()
+	for _, e := range s {
+		e := e
+		sim.After(e.At, func() { inj.Apply(e) })
+	}
+	return nil
+}
+
+// Apply executes one event immediately. Events from Arm land here; tests
+// may also call it directly. Invalid events are a no-op (Arm validates).
+func (inj *Injector) Apply(e Event) {
+	switch e.Kind {
+	case TargetFault:
+		inj.applyTarget(e)
+	case HostFault:
+		inj.applyHost(e)
+	case NICFault:
+		inj.applyNIC(e)
+	}
+}
+
+func (inj *Injector) applyTarget(e Event) {
+	t := inj.fs.Storage().TargetByID(e.ID)
+	if t == nil {
+		return
+	}
+	if e.Action == Fail {
+		_ = inj.fs.Mgmtd().SetOnline(e.ID, false)
+		t.SetFailed(true)
+		inj.abortFlowsOn(t.Resource())
+		return
+	}
+	// Restore capacity before announcing the target online, so resyncs
+	// triggered by the subscription see a usable device.
+	t.SetFailed(false)
+	_ = inj.fs.Mgmtd().SetOnline(e.ID, true)
+}
+
+func (inj *Injector) applyHost(e Event) {
+	h := inj.fs.Storage().Hosts()[e.ID-1]
+	if e.Action == Fail {
+		for _, t := range h.Targets() {
+			_ = inj.fs.Mgmtd().SetOnline(t.ID, false)
+			t.SetFailed(true)
+		}
+		h.SetFailed(true)
+		inj.fs.SetNICDown(h, true)
+		resources := []*simnet.Resource{h.Controller()}
+		if nic := inj.fs.ServerNIC(h); nic != nil {
+			resources = append(resources, nic)
+		}
+		for _, t := range h.Targets() {
+			resources = append(resources, t.Resource())
+		}
+		inj.abortFlowsOn(resources...)
+		return
+	}
+	h.SetFailed(false)
+	inj.fs.SetNICDown(h, false)
+	for _, t := range h.Targets() {
+		t.SetFailed(false)
+		_ = inj.fs.Mgmtd().SetOnline(t.ID, true)
+	}
+}
+
+func (inj *Injector) applyNIC(e Event) {
+	h := inj.fs.Storage().Hosts()[e.ID-1]
+	if e.Action == Fail {
+		inj.fs.SetNICDown(h, true)
+		if nic := inj.fs.ServerNIC(h); nic != nil {
+			inj.abortFlowsOn(nic)
+		}
+		return
+	}
+	inj.fs.SetNICDown(h, false)
+}
+
+// abortFlowsOn aborts every in-flight flow touching any of the resources,
+// each at most once, in name-sorted order (deterministic replay). Resync
+// flows riding a failed resource are aborted like any other; their dirty
+// accounting survives and the next recovery restarts them.
+func (inj *Injector) abortFlowsOn(resources ...*simnet.Resource) {
+	net := inj.fs.Network()
+	seen := make(map[*simnet.Flow]bool)
+	var doomed []*simnet.Flow
+	for _, r := range resources {
+		for _, f := range net.FlowsUsing(r) {
+			if !seen[f] {
+				seen[f] = true
+				doomed = append(doomed, f)
+			}
+		}
+	}
+	sort.Slice(doomed, func(i, j int) bool { return doomed[i].Name < doomed[j].Name })
+	for _, f := range doomed {
+		net.Abort(f)
+	}
+}

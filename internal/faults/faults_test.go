@@ -1,0 +1,322 @@
+package faults_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/beegfs"
+	"repro/internal/cluster"
+	"repro/internal/faults"
+	"repro/internal/ior"
+	"repro/internal/rng"
+	"repro/internal/simkernel"
+	"repro/internal/simnet"
+	"repro/internal/storagesim"
+)
+
+func deploy(t *testing.T, s cluster.Scenario) *cluster.Deployment {
+	t.Helper()
+	dep, err := cluster.PlaFRIM(s).Deploy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dep
+}
+
+func TestScheduleValidate(t *testing.T) {
+	dep := deploy(t, cluster.Scenario1Ethernet)
+	good := faults.Schedule{
+		{At: 1, Kind: faults.TargetFault, ID: 201, Action: faults.Fail},
+		{At: 2, Kind: faults.HostFault, ID: 2, Action: faults.Fail},
+		{At: 3, Kind: faults.NICFault, ID: 1, Action: faults.Fail},
+		{At: 4, Kind: faults.TargetFault, ID: 201, Action: faults.Recover},
+	}
+	if err := good.Validate(dep.FS); err != nil {
+		t.Fatal(err)
+	}
+	bad := []faults.Schedule{
+		{{At: -1, Kind: faults.TargetFault, ID: 201}},
+		{{At: 1, Kind: faults.TargetFault, ID: 201, Action: faults.Action(9)}},
+		{{At: 1, Kind: faults.Kind(9), ID: 201}},
+		{{At: 1, Kind: faults.TargetFault, ID: 999}},
+		{{At: 1, Kind: faults.HostFault, ID: 0}},
+		{{At: 1, Kind: faults.HostFault, ID: 3}},
+		{{At: 1, Kind: faults.NICFault, ID: 3}},
+	}
+	for i, s := range bad {
+		if s.Validate(dep.FS) == nil {
+			t.Errorf("bad schedule %d accepted", i)
+		}
+		if faults.NewInjector(dep.FS).Arm(s) == nil {
+			t.Errorf("bad schedule %d armed", i)
+		}
+	}
+}
+
+// A NIC fault on a deployment that does not model server NICs would be a
+// silent no-op, so Validate rejects it.
+func TestScheduleValidateRejectsNICFaultWithoutNICs(t *testing.T) {
+	sim := simkernel.New()
+	net := simnet.New(sim)
+	fs, err := beegfs.New(sim, net, beegfs.Config{
+		Storage:        storagesim.Config{SingleTargetRate: 1764, Beta: 0.596},
+		Hosts:          2,
+		TargetsPerHost: 4,
+		DefaultPattern: beegfs.StripePattern{Count: 4, ChunkSize: 512 * beegfs.KiB},
+		Chooser:        &beegfs.RoundRobinChooser{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := faults.Schedule{{At: 1, Kind: faults.NICFault, ID: 1, Action: faults.Fail}}
+	if s.Validate(fs) == nil {
+		t.Fatal("NIC fault accepted on a deployment without NIC resources")
+	}
+}
+
+func TestKindAndActionStrings(t *testing.T) {
+	if faults.TargetFault.String() != "target" || faults.HostFault.String() != "host" ||
+		faults.NICFault.String() != "nic" {
+		t.Fatal("kind strings broken")
+	}
+	if faults.Fail.String() != "fail" || faults.Recover.String() != "recover" {
+		t.Fatal("action strings broken")
+	}
+	if faults.Kind(9).String() == "" || faults.Action(9).String() == "" {
+		t.Fatal("unknown values must still print")
+	}
+}
+
+// Failing a target takes it out of the management service, pins its device
+// capacity to zero and recovery reverses both.
+func TestTargetFaultStateTransitions(t *testing.T) {
+	dep := deploy(t, cluster.Scenario1Ethernet)
+	inj := faults.NewInjector(dep.FS)
+	tg := dep.FS.Storage().TargetByID(201)
+
+	inj.Apply(faults.Event{Kind: faults.TargetFault, ID: 201, Action: faults.Fail})
+	if dep.FS.Mgmtd().IsOnline(201) {
+		t.Fatal("failed target still online in mgmtd")
+	}
+	if !tg.Failed() || tg.Resource().Capacity() != 0 {
+		t.Fatalf("failed target: failed=%v cap=%v", tg.Failed(), tg.Resource().Capacity())
+	}
+	inj.Apply(faults.Event{Kind: faults.TargetFault, ID: 201, Action: faults.Recover})
+	if !dep.FS.Mgmtd().IsOnline(201) || tg.Failed() || tg.Resource().Capacity() <= 0 {
+		t.Fatal("recovery did not restore the target")
+	}
+}
+
+// A host fault takes down every target, the I/O controller and the NIC.
+func TestHostFaultStateTransitions(t *testing.T) {
+	dep := deploy(t, cluster.Scenario1Ethernet)
+	inj := faults.NewInjector(dep.FS)
+	h := dep.FS.Storage().Hosts()[1]
+
+	inj.Apply(faults.Event{Kind: faults.HostFault, ID: 2, Action: faults.Fail})
+	if !h.Failed() || h.Controller().Capacity() != 0 {
+		t.Fatal("host not failed")
+	}
+	if !dep.FS.NICDown(h) || dep.FS.ServerNIC(h).Capacity() != 0 {
+		t.Fatal("host fault left the NIC up")
+	}
+	for _, tg := range h.Targets() {
+		if dep.FS.Mgmtd().IsOnline(tg.ID) || !tg.Failed() {
+			t.Fatalf("target %d survived its host", tg.ID)
+		}
+	}
+	inj.Apply(faults.Event{Kind: faults.HostFault, ID: 2, Action: faults.Recover})
+	if h.Failed() || h.Controller().Capacity() <= 0 || dep.FS.NICDown(h) {
+		t.Fatal("host recovery incomplete")
+	}
+	for _, tg := range h.Targets() {
+		if !dep.FS.Mgmtd().IsOnline(tg.ID) || tg.Failed() {
+			t.Fatalf("target %d not recovered", tg.ID)
+		}
+	}
+}
+
+// A NIC fault leaves the targets healthy in mgmtd state but unreachable.
+func TestNICFaultStateTransitions(t *testing.T) {
+	dep := deploy(t, cluster.Scenario1Ethernet)
+	inj := faults.NewInjector(dep.FS)
+	h := dep.FS.Storage().Hosts()[0]
+
+	inj.Apply(faults.Event{Kind: faults.NICFault, ID: 1, Action: faults.Fail})
+	if !dep.FS.NICDown(h) || dep.FS.ServerNIC(h).Capacity() != 0 {
+		t.Fatal("NIC fault did not zero the link")
+	}
+	if h.Failed() || h.Targets()[0].Failed() {
+		t.Fatal("NIC fault must not fail the storage devices")
+	}
+	inj.Apply(faults.Event{Kind: faults.NICFault, ID: 1, Action: faults.Recover})
+	if dep.FS.NICDown(h) || dep.FS.ServerNIC(h).Capacity() <= 0 {
+		t.Fatal("NIC recovery incomplete")
+	}
+}
+
+// A mid-run transient target failure aborts the write's flow; the client
+// retry path re-issues the remaining volume and the op completes — later
+// than the healthy baseline, without an error.
+func TestTransientTargetFaultRetriesAndCompletes(t *testing.T) {
+	run := func(sched faults.Schedule) (simkernel.Time, error) {
+		dep := deploy(t, cluster.Scenario2Omnipath)
+		client := dep.Nodes(1)[0]
+		f, err := dep.FS.CreateWithPattern("/f", beegfs.StripePattern{Count: 1, ChunkSize: 512 * beegfs.KiB}, rng.New(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := f.Targets[0].ID
+		for i := range sched {
+			sched[i].ID = id
+		}
+		if err := faults.NewInjector(dep.FS).Arm(sched); err != nil {
+			t.Fatal(err)
+		}
+		var done simkernel.Time
+		var opErr error
+		if _, err := dep.FS.StartWrite(&beegfs.WriteOp{
+			Client: client, File: f, Length: 4096 * beegfs.MiB, TransferSize: beegfs.MiB,
+			OnComplete: func(at simkernel.Time) { done = at },
+			OnError:    func(err error) { opErr = err },
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := dep.Sim.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return done, opErr
+	}
+	healthy, err := run(nil)
+	if err != nil || healthy <= 0 {
+		t.Fatalf("healthy run: done=%v err=%v", healthy, err)
+	}
+	faulty, err := run(faults.Schedule{
+		{At: 0.5, Kind: faults.TargetFault, Action: faults.Fail},
+		{At: 1.5, Kind: faults.TargetFault, Action: faults.Recover},
+	})
+	if err != nil {
+		t.Fatalf("transient fault killed the op: %v", err)
+	}
+	if faulty <= healthy {
+		t.Fatalf("faulty run finished at %v, healthy at %v — fault had no cost", faulty, healthy)
+	}
+}
+
+// A permanent failure exhausts the retry budget and surfaces a structured
+// IOFailedError through OnError — never a panic, never a hang.
+func TestPermanentFaultExhaustsRetryBudget(t *testing.T) {
+	dep := deploy(t, cluster.Scenario1Ethernet)
+	client := dep.Nodes(1)[0]
+	f, err := dep.FS.CreateWithPattern("/f", beegfs.StripePattern{Count: 1, ChunkSize: 512 * beegfs.KiB}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := faults.Schedule{{At: 0.2, Kind: faults.TargetFault, ID: f.Targets[0].ID, Action: faults.Fail}}
+	if err := faults.NewInjector(dep.FS).Arm(sched); err != nil {
+		t.Fatal(err)
+	}
+	var opErr error
+	completed := false
+	if _, err := dep.FS.StartWrite(&beegfs.WriteOp{
+		Client: client, File: f, Length: 4096 * beegfs.MiB, TransferSize: beegfs.MiB,
+		OnComplete: func(simkernel.Time) { completed = true },
+		OnError:    func(err error) { opErr = err },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.Sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if completed {
+		t.Fatal("op completed against a permanently failed target")
+	}
+	var ioErr *beegfs.IOFailedError
+	if !errors.As(opErr, &ioErr) {
+		t.Fatalf("error = %v, want *beegfs.IOFailedError", opErr)
+	}
+	if ioErr.Attempts != dep.FS.Config().RetryMax {
+		t.Fatalf("attempts = %d, want RetryMax = %d", ioErr.Attempts, dep.FS.Config().RetryMax)
+	}
+}
+
+// The determinism contract: the same seed and the same fault schedule
+// replay an IOR run bit-identically.
+func TestFaultReplayDeterminism(t *testing.T) {
+	run := func() ior.Result {
+		dep := deploy(t, cluster.Scenario1Ethernet)
+		dep.ReJitter(rng.New(99))
+		sched := faults.Schedule{
+			{At: 1.0, Kind: faults.TargetFault, ID: 201, Action: faults.Fail},
+			{At: 2.0, Kind: faults.NICFault, ID: 1, Action: faults.Fail},
+			{At: 3.0, Kind: faults.NICFault, ID: 1, Action: faults.Recover},
+			{At: 4.0, Kind: faults.TargetFault, ID: 201, Action: faults.Recover},
+		}
+		if err := faults.NewInjector(dep.FS).Arm(sched); err != nil {
+			t.Fatal(err)
+		}
+		params := ior.Params{Nodes: 4, PPN: 8, TransferSize: beegfs.MiB, StripeCount: 4}.WithTotalSize(8 * beegfs.GiB)
+		res, err := ior.Execute(dep.FS, dep.Nodes(4), params, rng.New(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Bandwidth != b.Bandwidth || a.Start != b.Start || a.End != b.End {
+		t.Fatalf("replay diverged: %+v vs %+v", a, b)
+	}
+	if a.Bandwidth <= 0 {
+		t.Fatal("run produced no bandwidth")
+	}
+}
+
+// FuzzFaultSchedule asserts that NO valid schedule of fault events can
+// panic the simulator: whatever fails and whenever, the workload either
+// completes or surfaces a structured error through Result.Err.
+func FuzzFaultSchedule(f *testing.F) {
+	f.Add([]byte{0x00, 0x12, 0x34, 0x56})
+	f.Add([]byte{0xff, 0x01, 0x80, 0x40, 0x20, 0x10, 0x08, 0x04})
+	f.Add([]byte{0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dep, err := cluster.PlaFRIM(cluster.Scenario1Ethernet).Deploy()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Decode up to 16 events from the fuzz bytes, 3 bytes each, clamped
+		// into the valid domain so Arm never rejects them.
+		all := dep.FS.Mgmtd().All()
+		var sched faults.Schedule
+		for i := 0; i+2 < len(data) && len(sched) < 16; i += 3 {
+			e := faults.Event{
+				At:     float64(data[i]) / 16.0, // 0..~16 s
+				Kind:   faults.Kind(data[i+1] % 3),
+				Action: faults.Action(data[i+1] / 3 % 2),
+			}
+			if e.Kind == faults.TargetFault {
+				e.ID = all[int(data[i+2])%len(all)].ID
+			} else {
+				e.ID = 1 + int(data[i+2])%2
+			}
+			sched = append(sched, e)
+		}
+		if err := faults.NewInjector(dep.FS).Arm(sched); err != nil {
+			t.Fatalf("valid schedule rejected: %v", err)
+		}
+		params := ior.Params{Nodes: 2, PPN: 2, TransferSize: beegfs.MiB, StripeCount: 4}.WithTotalSize(256 * beegfs.MiB)
+		done := false
+		if _, err := ior.Start(dep.FS, dep.Nodes(2), params, rng.New(uint64(len(data))), func(ior.Result) { done = true }); err != nil {
+			t.Fatalf("start failed: %v", err)
+		}
+		// Drive to completion with an event-count guard: a schedule must
+		// never be able to wedge the simulation either.
+		for steps := 0; !done; steps++ {
+			if steps > 2_000_000 {
+				t.Fatal("simulation did not converge")
+			}
+			if !dep.Sim.Step() {
+				t.Fatal("simulation drained with the run pending")
+			}
+		}
+	})
+}

@@ -159,6 +159,10 @@ type Result struct {
 	ReadBandwidth float64
 	// Params echoes the run's parameters.
 	Params Params
+	// Err is set when the run failed mid-flight — a create or I/O that
+	// could not complete (e.g. retry budget exhausted under fault
+	// injection). A failed run still fires onDone, with Bandwidth 0.
+	Err error
 }
 
 // Run is an in-flight benchmark execution.
@@ -177,6 +181,21 @@ type Run struct {
 
 // Done reports whether the run has finished.
 func (r *Run) Done() bool { return r.done }
+
+// fail terminates the run with an error: remaining I/O callbacks are
+// ignored and onDone fires once with Result.Err set. Mid-run failures
+// (offline targets, exhausted retries) land here instead of panicking.
+func (r *Run) fail(err error) {
+	if r.done {
+		return
+	}
+	r.done = true
+	r.result.Err = err
+	r.result.End = r.fs.Sim().Now()
+	if r.onDone != nil {
+		r.onDone(r.result)
+	}
+}
 
 // Result returns the run's outcome; valid once Done.
 func (r *Run) Result() Result { return r.result }
@@ -257,7 +276,8 @@ func (r *Run) launch(fs *beegfs.FileSystem, clients []*beegfs.Client, pattern be
 		if params.Pattern == SharedFile {
 			file, err := fs.CreateWithPattern(pathBase, pattern, src)
 			if err != nil {
-				panic(fmt.Sprintf("ior: create failed mid-run: %v", err))
+				r.fail(fmt.Errorf("ior: create failed mid-run: %w", err))
+				return
 			}
 			r.result.Paths = append(r.result.Paths, file.Path)
 			r.recordTargets(file)
@@ -275,7 +295,8 @@ func (r *Run) launch(fs *beegfs.FileSystem, clients []*beegfs.Client, pattern be
 		for rank := 0; rank < procs; rank++ {
 			file, err := fs.CreateWithPattern(fmt.Sprintf("%s.%08d", pathBase, rank), pattern, src)
 			if err != nil {
-				panic(fmt.Sprintf("ior: create failed mid-run: %v", err))
+				r.fail(fmt.Errorf("ior: create failed mid-run: %w", err))
+				return
 			}
 			r.result.Paths = append(r.result.Paths, file.Path)
 			r.recordTargets(file)
@@ -333,9 +354,10 @@ func (r *Run) startNodeGroup(file *beegfs.File, client *beegfs.Client, node int,
 				}
 				r.processDone(at)
 			},
+			OnError: func(err error) { r.fail(err) },
 		}
 		if err := r.startOp(op, read); err != nil {
-			panic(fmt.Sprintf("ior: I/O failed mid-run: %v", err))
+			r.fail(fmt.Errorf("ior: I/O failed mid-run: %w", err))
 		}
 	}
 	issue()
@@ -375,15 +397,21 @@ func (r *Run) startProcess(file *beegfs.File, client *beegfs.Client, rampWeight,
 				}
 				r.processDone(at)
 			},
+			OnError: func(err error) { r.fail(err) },
 		}
 		if err := r.startOp(op, read); err != nil {
-			panic(fmt.Sprintf("ior: I/O failed mid-run: %v", err))
+			r.fail(fmt.Errorf("ior: I/O failed mid-run: %w", err))
 		}
 	}
 	issue()
 }
 
 func (r *Run) processDone(at simkernel.Time) {
+	if r.done {
+		// The run already failed; late completions of surviving ops are
+		// ignored.
+		return
+	}
 	r.pending--
 	if r.pending > 0 {
 		return
@@ -421,6 +449,9 @@ func (r *Run) processDone(at simkernel.Time) {
 func (r *Run) finish(end simkernel.Time) {
 	sim := r.fs.Sim()
 	fire := func() {
+		if r.done {
+			return
+		}
 		r.done = true
 		r.result.End = end
 		if r.onDone != nil {
@@ -448,5 +479,5 @@ func Execute(fs *beegfs.FileSystem, clients []*beegfs.Client, params Params, src
 			return Result{}, fmt.Errorf("ior: simulation drained before run completed (%d processes pending)", r.pending)
 		}
 	}
-	return r.result, nil
+	return r.result, r.result.Err
 }

@@ -1,11 +1,13 @@
 package ior
 
 import (
+	"errors"
 	"math"
 	"testing"
 
 	"repro/internal/beegfs"
 	"repro/internal/cluster"
+	"repro/internal/faults"
 	"repro/internal/rng"
 )
 
@@ -504,5 +506,44 @@ func TestChunkSizeOverride(t *testing.T) {
 	f := dep.FS.Meta().Lookup(paths[0])
 	if f.Pattern.ChunkSize != 1*beegfs.MiB {
 		t.Fatalf("chunk = %d, want 1 MiB", f.Pattern.ChunkSize)
+	}
+}
+
+// A run whose file creation fails mid-run (all targets offline) surfaces
+// the failure through Result.Err / Execute's error — never a panic.
+func TestRunSurfacesCreateFailure(t *testing.T) {
+	dep := deploy(t, cluster.Scenario1Ethernet)
+	for _, tg := range dep.FS.Mgmtd().All() {
+		if err := dep.FS.Mgmtd().SetOnline(tg.ID, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := Execute(dep.FS, dep.Nodes(2), baseParams(2, 4), rng.New(3))
+	if err == nil || res.Err == nil {
+		t.Fatalf("offline deployment: err=%v res.Err=%v, want errors", err, res.Err)
+	}
+	if res.End < res.Start {
+		t.Fatalf("failed run has no end stamp: %+v", res)
+	}
+}
+
+// A permanent mid-run storage loss exhausts the retry budget and fails the
+// run with a structured error; the simulation still converges.
+func TestRunSurfacesMidRunIOFailure(t *testing.T) {
+	dep := deploy(t, cluster.Scenario1Ethernet)
+	inj := faults.NewInjector(dep.FS)
+	if err := inj.Arm(faults.Schedule{
+		{At: 2.0, Kind: faults.HostFault, ID: 1, Action: faults.Fail},
+		{At: 2.0, Kind: faults.HostFault, ID: 2, Action: faults.Fail},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(dep.FS, dep.Nodes(2), baseParams(2, 4), rng.New(3))
+	if err == nil || res.Err == nil {
+		t.Fatal("permanent storage loss did not fail the run")
+	}
+	var ioErr *beegfs.IOFailedError
+	if !errors.As(res.Err, &ioErr) {
+		t.Fatalf("Err = %v, want a wrapped *beegfs.IOFailedError", res.Err)
 	}
 }

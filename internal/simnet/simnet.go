@@ -57,6 +57,12 @@ type Flow struct {
 	// OnComplete, if non-nil, fires when the last byte is transferred.
 	OnComplete func(at simkernel.Time)
 
+	// OnAbort, if non-nil, fires when the flow is removed via Abort before
+	// completion (fault injection). The flow's Remaining() is settled to
+	// the abort instant, so callers can re-issue exactly the unsent volume.
+	// Exactly one of OnComplete/OnAbort fires per started flow.
+	OnAbort func(at simkernel.Time)
+
 	remaining float64
 	rate      float64
 	started   simkernel.Time
@@ -155,7 +161,9 @@ func (n *Network) Start(f *Flow) {
 	n.rebalance()
 }
 
-// Abort removes a flow before completion without firing OnComplete.
+// Abort removes a flow before completion without firing OnComplete. The
+// flow's OnAbort hook (if any) fires after the remaining flows have been
+// re-balanced, with the flow's unsent volume settled to the abort instant.
 func (n *Network) Abort(f *Flow) {
 	if _, ok := n.flows[f]; !ok {
 		return
@@ -171,6 +179,23 @@ func (n *Network) Abort(f *Flow) {
 		n.observer(n.sim.Now(), f, 0)
 	}
 	n.rebalance()
+	if f.OnAbort != nil {
+		f.OnAbort(n.sim.Now())
+	}
+}
+
+// FlowsUsing returns the in-flight flows whose usage vector touches r, in
+// deterministic (name-sorted) order. Fault injection uses it to abort
+// everything riding a failed resource.
+func (n *Network) FlowsUsing(r *Resource) []*Flow {
+	var out []*Flow
+	for f := range n.flows {
+		if _, ok := f.Usage[r]; ok {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // settle integrates transferred volume for all flows since the last rate

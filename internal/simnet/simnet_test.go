@@ -427,3 +427,53 @@ func BenchmarkFairShare64Flows(b *testing.B) {
 		FairShare(flows)
 	}
 }
+
+// Exactly one of OnComplete/OnAbort fires: Abort settles the transferred
+// volume, then hands the remainder to OnAbort.
+func TestAbortFiresOnAbortWithRemaining(t *testing.T) {
+	sim := simkernel.New()
+	n := New(sim)
+	l := n.AddResource("link", 100)
+	completed := false
+	var abortedAt simkernel.Time
+	var remaining float64
+	f := &Flow{Name: "a", Volume: 1000, Usage: map[*Resource]float64{l: 1},
+		OnComplete: func(simkernel.Time) { completed = true }}
+	f.OnAbort = func(at simkernel.Time) { abortedAt = at; remaining = f.Remaining() }
+	n.Start(f)
+	sim.At(2, func() { n.Abort(f) })
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if completed {
+		t.Fatal("aborted flow fired OnComplete")
+	}
+	if !almost(float64(abortedAt), 2, 1e-9) {
+		t.Fatalf("OnAbort at %v, want 2", abortedAt)
+	}
+	// 200 MiB moved before the abort.
+	if !almost(remaining, 800, 1e-9) {
+		t.Fatalf("remaining = %v, want 800", remaining)
+	}
+}
+
+func TestFlowsUsingIsNameSorted(t *testing.T) {
+	sim := simkernel.New()
+	n := New(sim)
+	l1 := n.AddResource("l1", 100)
+	l2 := n.AddResource("l2", 100)
+	for _, name := range []string{"c", "a", "b"} {
+		u := map[*Resource]float64{l1: 1}
+		if name == "b" {
+			u = map[*Resource]float64{l2: 1}
+		}
+		n.Start(&Flow{Name: name, Volume: 1000, Usage: u})
+	}
+	got := n.FlowsUsing(l1)
+	if len(got) != 2 || got[0].Name != "a" || got[1].Name != "c" {
+		t.Fatalf("FlowsUsing(l1) = %v", got)
+	}
+	if len(n.FlowsUsing(l2)) != 1 {
+		t.Fatal("FlowsUsing(l2) wrong")
+	}
+}

@@ -119,6 +119,9 @@ type Host struct {
 	controller *simnet.Resource
 	targets    []*Target
 	jitter     float64
+	// failed pins the controller capacity to zero (OSS crash/reboot)
+	// regardless of jitter redraws or active-target changes.
+	failed bool
 }
 
 // Controller returns the host's controller resource. Flows writing to any
@@ -141,7 +144,26 @@ func (h *Host) ActiveTargets() int {
 	return n
 }
 
+// SetFailed marks the host as crashed (true) or recovered (false). While
+// failed the controller capacity is pinned to zero, so every flow touching
+// the host stalls; the pin survives jitter redraws and active-target
+// changes because it lives inside updateCapacity.
+func (h *Host) SetFailed(failed bool) {
+	if h.failed == failed {
+		return
+	}
+	h.failed = failed
+	h.updateCapacity()
+}
+
+// Failed reports whether the host is currently marked crashed.
+func (h *Host) Failed() bool { return h.failed }
+
 func (h *Host) updateCapacity() {
+	if h.failed {
+		h.sys.net.SetCapacity(h.controller, 0)
+		return
+	}
 	m := h.ActiveTargets()
 	var c float64
 	if m > 0 {
@@ -169,7 +191,23 @@ type Target struct {
 	writeDepth float64
 	// usedBytes is the space consumed by stored chunks.
 	usedBytes int64
+	// failed pins the target capacity to zero (OST failure) regardless of
+	// jitter redraws or writer-count changes.
+	failed bool
 }
+
+// SetFailed marks the target as failed (true) or recovered (false). While
+// failed its capacity is pinned to zero across all recomputations.
+func (t *Target) SetFailed(failed bool) {
+	if t.failed == failed {
+		return
+	}
+	t.failed = failed
+	t.updateCapacity()
+}
+
+// Failed reports whether the target is currently marked failed.
+func (t *Target) Failed() bool { return t.failed }
 
 // Used returns the bytes stored on the target.
 func (t *Target) Used() int64 { return t.usedBytes }
@@ -220,6 +258,10 @@ func (t *Target) peak() float64 {
 func (t *Target) WriteDepth() float64 { return t.writeDepth }
 
 func (t *Target) updateCapacity() {
+	if t.failed {
+		t.host.sys.net.SetCapacity(t.resource, 0)
+		return
+	}
 	c := t.peak() * t.jitter
 	if sp := t.host.sys.cfg.SharePenalty; sp > 0 && len(t.writers) > 1 {
 		c *= math.Pow(sp, float64(len(t.writers)-1))

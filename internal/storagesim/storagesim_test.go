@@ -377,3 +377,41 @@ func TestNegativeDepthPanics(t *testing.T) {
 	}()
 	sys.Targets()[0].Acquire("a", -1)
 }
+
+// SetFailed pins the component's capacity to zero and the zero survives
+// writer-count and jitter recomputations until recovery.
+func TestSetFailedPinsCapacityToZero(t *testing.T) {
+	_, net, sys := newSys(t, detConfig(), 2, 4)
+	tg := sys.Targets()[0]
+	h := tg.Host()
+
+	tg.SetFailed(true)
+	if !tg.Failed() || tg.Resource().Capacity() != 0 {
+		t.Fatal("failed target has capacity")
+	}
+	// Writer churn and jitter must not resurrect the capacity.
+	tg.Acquire("app", 1)
+	sys.ReJitter(rng.New(7))
+	if tg.Resource().Capacity() != 0 {
+		t.Fatal("failed target capacity resurrected")
+	}
+	tg.Release("app", 1)
+	tg.SetFailed(false)
+	if tg.Resource().Capacity() <= 0 {
+		t.Fatal("recovered target still at zero")
+	}
+
+	h.SetFailed(true)
+	if !h.Failed() || h.Controller().Capacity() != 0 {
+		t.Fatal("failed host has controller capacity")
+	}
+	sys.ResetJitter()
+	if h.Controller().Capacity() != 0 {
+		t.Fatal("failed host capacity resurrected by ResetJitter")
+	}
+	h.SetFailed(false)
+	if h.Controller().Capacity() <= 0 {
+		t.Fatal("recovered host still at zero")
+	}
+	_ = net
+}

@@ -92,6 +92,10 @@ type Result struct {
 	ReadBandwidth float64
 	// TargetIDs are the stripe targets of the job's file.
 	TargetIDs []int
+	// Err is set when the job failed mid-flight (fault injection with an
+	// exhausted retry budget, or a launch that could not start). Failed
+	// jobs still appear in the results, with Bandwidth 0.
+	Err error
 }
 
 // Stretch returns (queue + run) / run — the scheduling community's
@@ -109,6 +113,17 @@ func (r Result) Stretch() float64 {
 // blocks the queue, like a conservative production scheduler). It returns
 // per-job results in completion order.
 func Replay(platform cluster.Platform, totalNodes int, jobs []Job, seed uint64) ([]Result, error) {
+	dep, err := platform.Deploy()
+	if err != nil {
+		return nil, err
+	}
+	return ReplayOn(dep, platform.SetupMean, platform.SetupCV, totalNodes, jobs, seed)
+}
+
+// ReplayOn replays the trace on an existing deployment, so callers can
+// arm fault schedules or interference on the simulation before the jobs
+// run. The deployment's clock is driven to completion.
+func ReplayOn(dep *cluster.Deployment, setupMean, setupCV float64, totalNodes int, jobs []Job, seed uint64) ([]Result, error) {
 	if totalNodes <= 0 {
 		return nil, fmt.Errorf("workload: need a positive node pool")
 	}
@@ -119,10 +134,6 @@ func Replay(platform cluster.Platform, totalNodes int, jobs []Job, seed uint64) 
 		if j.Nodes > totalNodes {
 			return nil, fmt.Errorf("workload: job %s needs %d nodes but the pool has %d", j.ID, j.Nodes, totalNodes)
 		}
-	}
-	dep, err := platform.Deploy()
-	if err != nil {
-		return nil, err
 	}
 	pool := newNodePool(dep, totalNodes)
 	src := rng.New(seed)
@@ -140,7 +151,14 @@ func Replay(platform cluster.Platform, totalNodes int, jobs []Job, seed uint64) 
 	launch := func(q queued) {
 		nodes, ok := pool.acquire(q.job.Nodes)
 		if !ok {
-			panic("workload: launch without free nodes")
+			// tryLaunch checked pool.free() before dequeuing, so this is
+			// unreachable; record a failed job rather than crash if the
+			// accounting ever drifts.
+			results = append(results, Result{
+				Job: q.job,
+				Err: fmt.Errorf("workload: job %s launched without free nodes", q.job.ID),
+			})
+			return
 		}
 		running++
 		params := ior.Params{
@@ -150,8 +168,8 @@ func Replay(platform cluster.Platform, totalNodes int, jobs []Job, seed uint64) 
 			Path:         "/jobs/" + q.job.ID,
 			App:          q.job.ID,
 			ReadBack:     q.job.ReadBack,
-			SetupMean:    platform.SetupMean,
-			SetupCV:      platform.SetupCV,
+			SetupMean:    setupMean,
+			SetupCV:      setupCV,
 		}.WithTotalSize(int64(q.job.TotalGiB * float64(beegfs.GiB)))
 		job := q.job
 		queuedFor := float64(sim.Now()) - q.job.Arrival
@@ -167,13 +185,23 @@ func Replay(platform cluster.Platform, totalNodes int, jobs []Job, seed uint64) 
 				Bandwidth:     res.Bandwidth,
 				ReadBandwidth: res.ReadBandwidth,
 				TargetIDs:     res.TargetIDs,
+				Err:           res.Err,
 			})
 			pool.release(nodes)
 			running--
 			tryLaunch()
 		})
 		if err != nil {
-			panic(fmt.Sprintf("workload: job %s failed to start: %v", job.ID, err))
+			// Parameter-level rejection: record the failure and free the
+			// nodes so the rest of the trace proceeds.
+			results = append(results, Result{
+				Job:    job,
+				Queued: queuedFor,
+				Err:    fmt.Errorf("workload: job %s failed to start: %w", job.ID, err),
+			})
+			pool.release(nodes)
+			running--
+			tryLaunch()
 		}
 	}
 	tryLaunch = func() {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/cluster"
+	"repro/internal/faults"
 )
 
 func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
@@ -179,5 +180,41 @@ func TestReplayFCFSOrderPreserved(t *testing.T) {
 	// nodes, so the 2-node job can start only after big2 ends.
 	if byID["small"].Start < byID["big2"].End {
 		t.Fatalf("FCFS violated: small started %v before big2 ended %v", byID["small"].Start, byID["big2"].End)
+	}
+}
+
+// A job that hits a dead file system is recorded as a failed Result — the
+// replay finishes, earlier jobs keep their numbers, nothing panics.
+func TestReplayRecordsJobFailure(t *testing.T) {
+	p := cluster.PlaFRIM(cluster.Scenario1Ethernet)
+	dep, err := p.Deploy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both storage hosts die at t=30 and never recover: job a (arrival 0,
+	// ~2s long) completes, job b (arrival 40) cannot even create its file.
+	if err := faults.NewInjector(dep.FS).Arm(faults.Schedule{
+		{At: 30, Kind: faults.HostFault, ID: 1, Action: faults.Fail},
+		{At: 30, Kind: faults.HostFault, ID: 2, Action: faults.Fail},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	jobs := []Job{job("a", 0, 2, 1), job("b", 40, 2, 1)}
+	results, err := ReplayOn(dep, p.SetupMean, p.SetupCV, 4, jobs, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d, want 2", len(results))
+	}
+	byID := map[string]Result{}
+	for _, r := range results {
+		byID[r.Job.ID] = r
+	}
+	if a := byID["a"]; a.Err != nil || a.Bandwidth <= 0 {
+		t.Fatalf("healthy job a: %+v", a)
+	}
+	if b := byID["b"]; b.Err == nil || b.Bandwidth != 0 {
+		t.Fatalf("job b on a dead file system: err=%v bw=%v", b.Err, b.Bandwidth)
 	}
 }
