@@ -259,15 +259,11 @@ func BenchmarkAblationContention(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				p := cluster.PlaFRIM(cluster.Scenario2Omnipath)
 				p.FS.Storage.SharePenalty = tc.penalty
-				dep, err := p.Deploy()
-				if err != nil {
-					b.Fatal(err)
-				}
 				// Two apps forced onto the same 4 targets by pinning the
 				// directory default and creating back-to-back after a full
 				// cursor wrap.
 				proto := experiments.Protocol{Repetitions: 10, BlockSize: 5, MinWait: 0.5, MaxWait: 1, Seed: uint64(i + 1)}
-				camp := experiments.Campaign{Dep: dep, Proto: proto, BackgroundCreateRate: 4}
+				camp := experiments.Campaign{Platform: p, Proto: proto, BackgroundCreateRate: 4}
 				params := ior.Params{Nodes: 8, PPN: 8, TransferSize: beegfs.MiB, StripeCount: 4}.WithTotalSize(32 * beegfs.GiB)
 				recs, err := camp.Run([]experiments.Config{{Label: "conc", Params: params, Apps: 2}})
 				if err != nil {

@@ -1,0 +1,143 @@
+// Command benchjson converts `go test -bench` output read from stdin into
+// a stable JSON document, so benchmark runs can be archived and diffed
+// across commits (BENCH_PR2.json) and smoke-checked in CI:
+//
+//	go test -bench=. -benchmem -benchtime=1x ./... | benchjson -o BENCH.json
+//
+// Each benchmark line becomes one entry recording the iteration count and
+// every reported metric (ns/op, B/op, allocs/op and custom ones like
+// MiB/s@32GiB) keyed by its unit.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark result.
+type Entry struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Doc is the full document.
+type Doc struct {
+	Context    map[string]string `json:"context,omitempty"`
+	Benchmarks []Entry           `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		out  = flag.String("o", "", "output file (default stdout)")
+		note = flag.String("note", "", "free-form note stored in the context block")
+	)
+	flag.Parse()
+	doc, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if *note != "" {
+		if doc.Context == nil {
+			doc.Context = map[string]string{}
+		}
+		doc.Context["note"] = *note
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse reads `go test -bench` output. Benchmark lines have the shape
+//
+//	BenchmarkName-8   	  1000	  316.2 ns/op	  0 B/op	  12 MiB/s
+//
+// i.e. a name, an iteration count, then (value, unit) pairs. Context lines
+// (goos/goarch/pkg/cpu) are captured; everything else is ignored.
+func parse(r io.Reader) (Doc, error) {
+	doc := Doc{Context: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if k, v, ok := strings.Cut(line, ": "); ok && (k == "goos" || k == "goarch" || k == "pkg" || k == "cpu") {
+			// Several packages repeat goos/goarch/cpu; the last pkg wins is
+			// useless, so accumulate pkg values.
+			if k == "pkg" && doc.Context["pkg"] != "" {
+				doc.Context["pkg"] += " " + v
+			} else {
+				doc.Context[k] = v
+			}
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		e := Entry{
+			Name:       strings.TrimSuffix(fields[0], cpuSuffix(fields[0])),
+			Iterations: iters,
+			Metrics:    map[string]float64{},
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return Doc{}, fmt.Errorf("bad metric value %q in %q", fields[i], line)
+			}
+			e.Metrics[fields[i+1]] = v
+		}
+		doc.Benchmarks = append(doc.Benchmarks, e)
+	}
+	if err := sc.Err(); err != nil {
+		return Doc{}, err
+	}
+	if len(doc.Benchmarks) == 0 {
+		return Doc{}, fmt.Errorf("no benchmark lines found on stdin")
+	}
+	sort.SliceStable(doc.Benchmarks, func(i, j int) bool {
+		return doc.Benchmarks[i].Name < doc.Benchmarks[j].Name
+	})
+	if len(doc.Context) == 0 {
+		doc.Context = nil
+	}
+	return doc, nil
+}
+
+// cpuSuffix returns the trailing "-N" GOMAXPROCS marker of a benchmark
+// name, or "" when absent.
+func cpuSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return ""
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return ""
+	}
+	return name[i:]
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/simnet
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSolve8Flows-4   	    1000	       316.2 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSolve64Flows   	    1000	      3557 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFig6   	       1	 123456789 ns/op	      2210 MiB/s@count8
+PASS
+ok  	repro/internal/simnet	0.045s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("benchmarks = %d, want 3", len(doc.Benchmarks))
+	}
+	// Sorted by name; the -4 GOMAXPROCS suffix is stripped.
+	if doc.Benchmarks[0].Name != "BenchmarkFig6" || doc.Benchmarks[1].Name != "BenchmarkSolve64Flows" || doc.Benchmarks[2].Name != "BenchmarkSolve8Flows" {
+		t.Fatalf("names = %v %v %v", doc.Benchmarks[0].Name, doc.Benchmarks[1].Name, doc.Benchmarks[2].Name)
+	}
+	s8 := doc.Benchmarks[2]
+	if s8.Iterations != 1000 || s8.Metrics["ns/op"] != 316.2 || s8.Metrics["allocs/op"] != 0 {
+		t.Fatalf("solve8 = %+v", s8)
+	}
+	fig := doc.Benchmarks[0]
+	if fig.Metrics["MiB/s@count8"] != 2210 {
+		t.Fatalf("custom metric lost: %+v", fig)
+	}
+	if doc.Context["goos"] != "linux" || doc.Context["cpu"] == "" {
+		t.Fatalf("context = %+v", doc.Context)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\n")); err == nil {
+		t.Fatal("empty bench output accepted")
+	}
+}

@@ -4,10 +4,13 @@
 //
 // Usage:
 //
-//	figures [-fig all|2a|2b|4a|4b|5a|5b|6a|6b|8|10|11|12|13|lessons|extnn|extread|policy|resilience] [-reps N] [-seed S] [-out DIR] [-fast]
+//	figures [-fig all|2a|2b|4a|4b|5a|5b|6a|6b|8|10|11|12|13|lessons|extnn|extread|policy|resilience] [-reps N] [-seed S] [-out DIR] [-fast] [-workers N]
+//	        [-cpuprofile FILE] [-memprofile FILE]
 //
 // The default -reps 100 matches the paper's protocol; -fast shortens the
-// (virtual-time) inter-block waits.
+// (virtual-time) inter-block waits. -workers bounds how many repetitions
+// simulate concurrently (0 = one per CPU; results are bit-identical for
+// every value). -cpuprofile/-memprofile write pprof profiles of the run.
 package main
 
 import (
@@ -15,6 +18,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/cluster"
@@ -26,14 +31,44 @@ import (
 
 func main() {
 	var (
-		fig  = flag.String("fig", "all", "figure to regenerate (2a 2b 4a 4b 5a 5b 6a 6b 8 10 11 12 13 lessons extnn extread policy resilience all)")
-		reps = flag.Int("reps", 100, "repetitions per experiment (paper: 100)")
-		seed = flag.Uint64("seed", 42, "campaign seed")
-		out  = flag.String("out", "out", "directory for CSV output (empty: skip CSV)")
-		fast = flag.Bool("fast", true, "shorten the virtual-time inter-block waits")
+		fig     = flag.String("fig", "all", "figure to regenerate (2a 2b 4a 4b 5a 5b 6a 6b 8 10 11 12 13 lessons extnn extread policy resilience all)")
+		reps    = flag.Int("reps", 100, "repetitions per experiment (paper: 100)")
+		seed    = flag.Uint64("seed", 42, "campaign seed")
+		out     = flag.String("out", "out", "directory for CSV output (empty: skip CSV)")
+		fast    = flag.Bool("fast", true, "shorten the virtual-time inter-block waits")
+		workers = flag.Int("workers", 0, "concurrent repetitions (0 = one per CPU, 1 = serial; same results either way)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
-	if err := run(*fig, experiments.Options{Reps: *reps, Seed: *seed, FastProtocol: *fast}, *out); err != nil {
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	err := run(*fig, experiments.Options{Reps: *reps, Seed: *seed, FastProtocol: *fast, Workers: *workers}, *out)
+	if *memProf != "" {
+		f, merr := os.Create(*memProf)
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, "figures:", merr)
+			os.Exit(1)
+		}
+		runtime.GC() // materialize the final live set
+		if merr := pprof.WriteHeapProfile(f); merr != nil {
+			fmt.Fprintln(os.Stderr, "figures:", merr)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}

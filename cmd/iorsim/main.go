@@ -7,15 +7,20 @@
 //	iorsim -b 1g -t 1m -i 10 -scenario 1 -nodes 8 -ppn 8 -count 4
 //	iorsim -F -w -r -b 256m -t 1m -nodes 4 -ppn 4
 //
-// Sizes accept k/m/g suffixes (KiB/MiB/GiB), as in IOR.
+// Sizes accept k/m/g suffixes (KiB/MiB/GiB), as in IOR. Repetitions are
+// independent simulations and run concurrently under -workers; the
+// reported numbers are identical for every worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/beegfs"
 	"repro/internal/cluster"
@@ -41,15 +46,16 @@ func main() {
 		ppn      = flag.Int("ppn", 8, "processes per node")
 		count    = flag.Int("count", 0, "stripe count (0 = directory default)")
 		seed     = flag.Uint64("seed", 1, "seed")
+		workers  = flag.Int("workers", 0, "concurrent repetitions (0 = one per CPU, 1 = serial; same results either way)")
 	)
 	flag.Parse()
-	if err := run(*api, *bStr, *tStr, *segments, *fpp, *write, *read, *reps, *out, *scenario, *nodes, *ppn, *count, *seed); err != nil {
+	if err := run(*api, *bStr, *tStr, *segments, *fpp, *write, *read, *reps, *out, *scenario, *nodes, *ppn, *count, *seed, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "iorsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(api, bStr, tStr string, segments int, fpp, write, read bool, reps int, out string, scenario, nodes, ppn, count int, seed uint64) error {
+func run(api, bStr, tStr string, segments int, fpp, write, read bool, reps int, out string, scenario, nodes, ppn, count int, seed uint64, workers int) error {
 	if !strings.EqualFold(api, "POSIX") {
 		return fmt.Errorf("only -a POSIX is supported (the paper's configuration)")
 	}
@@ -74,10 +80,6 @@ func run(api, bStr, tStr string, segments int, fpp, write, read bool, reps int, 
 		return fmt.Errorf("-scenario must be 1 or 2")
 	}
 	platform := cluster.PlaFRIM(scen)
-	dep, err := platform.Deploy()
-	if err != nil {
-		return err
-	}
 	params := ior.Params{
 		Nodes: nodes, PPN: ppn,
 		BlockSize:    block,
@@ -104,15 +106,53 @@ func run(api, bStr, tStr string, segments int, fpp, write, read bool, reps int, 
 	fmt.Printf("aggregate   : %.1f GiB\n", float64(params.TotalBytes())/float64(beegfs.GiB))
 	fmt.Printf("repetitions : %d\n\n", reps)
 
+	// Each repetition is an isolated simulation: a private rng stream split
+	// by repetition index, a fresh deployment, and the round-robin cursor
+	// position the serial loop would have reached (one file per rep for N-1,
+	// one per task for N-N). The worker pool therefore reproduces the
+	// serial numbers bit-for-bit, merged back in repetition order.
 	src := rng.New(seed)
-	var writes, reads []float64
-	fmt.Printf("%-4s  %12s  %12s  %-8s\n", "rep", "write(MiB/s)", "read(MiB/s)", "alloc")
-	for rep := 0; rep < reps; rep++ {
-		dep.ReJitter(src)
-		res, err := ior.Execute(dep.FS, dep.Nodes(nodes), params, src)
+	nTargets := platform.FS.Hosts * platform.FS.TargetsPerHost
+	effCount := count
+	if effCount <= 0 {
+		effCount = platform.FS.DefaultPattern.Count
+	}
+	if effCount > nTargets {
+		effCount = nTargets
+	}
+	files := 1
+	if fpp {
+		files = nodes * ppn
+	}
+	results := make([]ior.Result, reps)
+	runRep := func(rep int) error {
+		repSrc := src.Split(uint64(rep))
+		p := platform
+		if cl, ok := p.FS.Chooser.(beegfs.CloneChooser); ok {
+			p.FS.Chooser = cl.Clone()
+		}
+		dep, err := p.Deploy()
 		if err != nil {
 			return err
 		}
+		if cc, ok := p.FS.Chooser.(beegfs.CursorChooser); ok {
+			cc.SetCursor(rep * files * effCount % nTargets)
+		}
+		dep.ReJitter(repSrc)
+		res, err := ior.Execute(dep.FS, dep.Nodes(nodes), params, repSrc)
+		if err != nil {
+			return err
+		}
+		results[rep] = res
+		return nil
+	}
+	if err := forEachRep(reps, workers, runRep); err != nil {
+		return err
+	}
+
+	var writes, reads []float64
+	fmt.Printf("%-4s  %12s  %12s  %-8s\n", "rep", "write(MiB/s)", "read(MiB/s)", "alloc")
+	for rep, res := range results {
 		writes = append(writes, res.Bandwidth)
 		alloc := core.FromPerHostMap(res.PerHost, platform.FS.Hosts)
 		readCol := "-"
@@ -126,6 +166,61 @@ func run(api, bStr, tStr string, segments int, fpp, write, read bool, reps int, 
 	printSummary("write", writes)
 	if read {
 		printSummary("read", reads)
+	}
+	return nil
+}
+
+// forEachRep runs fn(0..n-1) on up to `workers` goroutines (0 = one per
+// CPU; <=1 inline). On failure the lowest-index error wins — the one the
+// serial loop would have hit first.
+func forEachRep(n, workers int, fn func(int) error) error {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	next.Store(-1)
+	var minErr atomic.Int64
+	minErr.Store(int64(n))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				if int64(i) > minErr.Load() {
+					continue
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					for {
+						cur := minErr.Load()
+						if int64(i) >= cur || minErr.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if m := minErr.Load(); m < int64(n) {
+		return errs[m]
 	}
 	return nil
 }

@@ -18,10 +18,7 @@ import (
 )
 
 func main() {
-	dep, err := cluster.PlaFRIM(cluster.Scenario2Omnipath).Deploy()
-	if err != nil {
-		log.Fatal(err)
-	}
+	platform := cluster.PlaFRIM(cluster.Scenario2Omnipath)
 
 	const apps = 3
 	params := ior.Params{
@@ -37,7 +34,7 @@ func main() {
 		p := params
 		p.StripeCount = count
 		proto := experiments.Protocol{Repetitions: 25, BlockSize: 5, MinWait: 1, MaxWait: 4, Seed: uint64(100 + count)}
-		camp := experiments.Campaign{Dep: dep, Proto: proto, BackgroundCreateRate: 4}
+		camp := experiments.Campaign{Platform: platform, Proto: proto, BackgroundCreateRate: 4}
 
 		eq := apps * count
 		if eq > 8 {

@@ -18,10 +18,7 @@ import (
 
 func main() {
 	scenario := cluster.Scenario1Ethernet
-	dep, err := cluster.PlaFRIM(scenario).Deploy()
-	if err != nil {
-		log.Fatal(err)
-	}
+	platform := cluster.PlaFRIM(scenario)
 
 	// Build one experiment per stripe count: 8 nodes x 8 ppn, 32 GiB
 	// shared file, exactly the Figure 6a configuration.
@@ -41,7 +38,7 @@ func main() {
 		MinWait: 1, MaxWait: 5, // virtual-time waits between blocks
 		Seed: 2022,
 	}
-	recs, err := experiments.Campaign{Dep: dep, Proto: proto}.Run(cfgs)
+	recs, err := experiments.Campaign{Platform: platform, Proto: proto}.Run(cfgs)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,7 +64,7 @@ func main() {
 	fmt.Printf("lesson 4 (balance governs network-limited performance): holds=%v — %s\n\n", v.Holds, v.Detail)
 
 	// Ask the recommender for the default stripe count.
-	m := core.Model{FS: dep.Platform.FS, ClientNIC: dep.Platform.ClientNICCapacity}
+	m := core.Model{FS: platform.FS, ClientNIC: platform.ClientNICCapacity}
 	order := []int{0, 1, 1, 1, 1, 0, 0, 0} // PlaFRIM registration order
 	rec, err := core.Recommend(m, order, "roundrobin", 4, 8, 8)
 	if err != nil {

@@ -20,6 +20,29 @@ type TargetChooser interface {
 	Name() string
 }
 
+// CloneChooser is implemented by choosers that can hand out an independent
+// copy of themselves. The parallel campaign engine clones the platform's
+// chooser for every repetition's private deployment, so concurrent
+// repetitions never share mutable chooser state. State keyed to a specific
+// deployment's objects (e.g. per-host rotation maps) does not transfer; the
+// copy starts that state fresh. Custom stateful choosers should implement
+// this; stateless choosers that don't are shared as-is.
+type CloneChooser interface {
+	TargetChooser
+	Clone() TargetChooser
+}
+
+// CursorChooser is implemented by choosers whose cross-file state is a
+// single rotating cursor. The campaign engine uses it to seed each
+// repetition's fresh chooser with the cursor position the §III-C serial
+// protocol would have reached — the mechanism behind Figure 6a's
+// bimodality and the "count 4 is always (1,3)" result.
+type CursorChooser interface {
+	TargetChooser
+	Cursor() int
+	SetCursor(int)
+}
+
 func checkChoice(k, online int) error {
 	if k <= 0 {
 		return fmt.Errorf("beegfs: stripe count must be positive, got %d", k)
@@ -61,6 +84,16 @@ func (c *RoundRobinChooser) Choose(k int, online []*storagesim.Target, _ *rng.So
 // Reset rewinds the cursor to the start of the registration order.
 func (c *RoundRobinChooser) Reset() { c.cursor = 0 }
 
+// Cursor implements CursorChooser.
+func (c *RoundRobinChooser) Cursor() int { return c.cursor }
+
+// SetCursor implements CursorChooser. The position is taken modulo the
+// online-target count at the next Choose, so any non-negative value works.
+func (c *RoundRobinChooser) SetCursor(pos int) { c.cursor = pos }
+
+// Clone implements CloneChooser.
+func (c *RoundRobinChooser) Clone() TargetChooser { return &RoundRobinChooser{cursor: c.cursor} }
+
 // RandomChooser is BeeGFS' default: a uniformly random k-subset of the
 // online targets. The paper notes (§IV-C1) that with this chooser a stripe
 // count of 4 *can* produce the balanced (2,2) allocation — but with high
@@ -69,6 +102,9 @@ type RandomChooser struct{}
 
 // Name implements TargetChooser.
 func (RandomChooser) Name() string { return "random" }
+
+// Clone implements CloneChooser (the chooser is stateless).
+func (c RandomChooser) Clone() TargetChooser { return c }
 
 // Choose implements TargetChooser.
 func (RandomChooser) Choose(k int, online []*storagesim.Target, src *rng.Source) ([]*storagesim.Target, error) {
@@ -98,6 +134,11 @@ type BalancedChooser struct {
 
 // Name implements TargetChooser.
 func (c *BalancedChooser) Name() string { return "balanced" }
+
+// Clone implements CloneChooser. The rotation map is keyed by host objects
+// of one deployment and cannot transfer to another; the copy starts with a
+// fresh rotation (hostTurn carries over, it is deployment-independent).
+func (c *BalancedChooser) Clone() TargetChooser { return &BalancedChooser{hostTurn: c.hostTurn} }
 
 // Choose implements TargetChooser.
 func (c *BalancedChooser) Choose(k int, online []*storagesim.Target, _ *rng.Source) ([]*storagesim.Target, error) {
@@ -165,6 +206,9 @@ type RandomInterNodeChooser struct{}
 
 // Name implements TargetChooser.
 func (RandomInterNodeChooser) Name() string { return "randominternode" }
+
+// Clone implements CloneChooser (the chooser is stateless).
+func (c RandomInterNodeChooser) Clone() TargetChooser { return c }
 
 // Choose implements TargetChooser.
 func (RandomInterNodeChooser) Choose(k int, online []*storagesim.Target, src *rng.Source) ([]*storagesim.Target, error) {

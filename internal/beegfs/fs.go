@@ -141,6 +141,16 @@ type FileSystem struct {
 	dirty map[string]*File
 	// resynced accumulates the bytes re-copied by completed resync flows.
 	resynced int64
+	// runSeq numbers benchmark runs (ior path suffixes) per deployment,
+	// so concurrent deployments never share a counter.
+	runSeq int
+}
+
+// NextRunSeq returns a fresh 1-based run number for this deployment. The
+// ior runner uses it to give every benchmark run a unique file path.
+func (fs *FileSystem) NextRunSeq() int {
+	fs.runSeq++
+	return fs.runSeq
 }
 
 // New builds a deployment. The target registration order is PlaFRIM's when

@@ -34,16 +34,12 @@ func TestProtocolValidate(t *testing.T) {
 }
 
 func TestCampaignRunsAllRepetitions(t *testing.T) {
-	dep, err := cluster.PlaFRIM(cluster.Scenario1Ethernet).Deploy()
-	if err != nil {
-		t.Fatal(err)
-	}
 	cfgs := []Config{
 		{Label: "a", Params: ior.Params{Nodes: 2, PPN: 4, TransferSize: beegfs.MiB, StripeCount: 2}.WithTotalSize(2 * beegfs.GiB)},
 		{Label: "b", Params: ior.Params{Nodes: 2, PPN: 4, TransferSize: beegfs.MiB, StripeCount: 4}.WithTotalSize(2 * beegfs.GiB)},
 	}
 	proto := Protocol{Repetitions: 7, BlockSize: 3, MinWait: 0.1, MaxWait: 0.5, Seed: 1}
-	recs, err := Campaign{Dep: dep, Proto: proto}.Run(cfgs)
+	recs, err := Campaign{Platform: cluster.PlaFRIM(cluster.Scenario1Ethernet), Proto: proto}.Run(cfgs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,16 +65,12 @@ func TestCampaignBlockOrderRandomized(t *testing.T) {
 	// [10x a][10x b]; randomized block order must sometimes run b first.
 	seenBFirst := false
 	for seed := uint64(0); seed < 8 && !seenBFirst; seed++ {
-		dep, err := cluster.PlaFRIM(cluster.Scenario1Ethernet).Deploy()
-		if err != nil {
-			t.Fatal(err)
-		}
 		cfgs := []Config{
 			{Label: "a", Params: ior.Params{Nodes: 1, PPN: 2, TransferSize: beegfs.MiB, StripeCount: 2}.WithTotalSize(256 * beegfs.MiB)},
 			{Label: "b", Params: ior.Params{Nodes: 1, PPN: 2, TransferSize: beegfs.MiB, StripeCount: 2}.WithTotalSize(256 * beegfs.MiB)},
 		}
 		proto := Protocol{Repetitions: 10, BlockSize: 10, MinWait: 0.01, MaxWait: 0.02, Seed: seed}
-		recs, err := Campaign{Dep: dep, Proto: proto}.Run(cfgs)
+		recs, err := Campaign{Platform: cluster.PlaFRIM(cluster.Scenario1Ethernet), Proto: proto}.Run(cfgs)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -92,14 +84,11 @@ func TestCampaignBlockOrderRandomized(t *testing.T) {
 }
 
 func TestCampaignErrors(t *testing.T) {
-	dep, err := cluster.PlaFRIM(cluster.Scenario1Ethernet).Deploy()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := (Campaign{Dep: dep, Proto: DefaultProtocol(1)}).Run(nil); err == nil {
+	p := cluster.PlaFRIM(cluster.Scenario1Ethernet)
+	if _, err := (Campaign{Platform: p, Proto: DefaultProtocol(1)}).Run(nil); err == nil {
 		t.Fatal("empty config list accepted")
 	}
-	if _, err := (Campaign{Dep: dep, Proto: Protocol{}}).Run([]Config{{}}); err == nil {
+	if _, err := (Campaign{Platform: p, Proto: Protocol{}}).Run([]Config{{}}); err == nil {
 		t.Fatal("invalid protocol accepted")
 	}
 }
@@ -397,16 +386,15 @@ func TestFig13RequiresCell(t *testing.T) {
 func TestEquation1Aggregate(t *testing.T) {
 	// Equation 1 on a hand-built record: two apps, 100 MiB each, window
 	// [0, 4]s -> 50 MiB/s.
-	dep, err := cluster.PlaFRIM(cluster.Scenario2Omnipath).Deploy()
-	if err != nil {
-		t.Fatal(err)
-	}
 	cfg := Config{
 		Label:  "eq1",
 		Params: ior.Params{Nodes: 2, PPN: 2, TransferSize: beegfs.MiB, StripeCount: 4}.WithTotalSize(1 * beegfs.GiB),
 		Apps:   2,
 	}
-	recs, err := Campaign{Dep: dep, Proto: Protocol{Repetitions: 1, BlockSize: 1, Seed: 1}}.Run([]Config{cfg})
+	recs, err := Campaign{
+		Platform: cluster.PlaFRIM(cluster.Scenario2Omnipath),
+		Proto:    Protocol{Repetitions: 1, BlockSize: 1, Seed: 1},
+	}.Run([]Config{cfg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -467,20 +455,19 @@ func TestRecordSampleStatsSane(t *testing.T) {
 	}
 }
 
-// Same seed, same campaign — bit-for-bit. The reproducibility claim of
-// EXPERIMENTS.md.
+// Same seed, same campaign — bit-for-bit, for ANY worker count. The
+// reproducibility claim of EXPERIMENTS.md.
 func TestCampaignDeterminism(t *testing.T) {
-	run := func() []float64 {
-		dep, err := cluster.PlaFRIM(cluster.Scenario2Omnipath).Deploy()
-		if err != nil {
-			t.Fatal(err)
-		}
+	run := func(workers int) []float64 {
 		cfgs := []Config{
 			{Label: "a", Params: ior.Params{Nodes: 4, PPN: 8, TransferSize: beegfs.MiB, StripeCount: 4}.WithTotalSize(8 * beegfs.GiB)},
 			{Label: "b", Params: ior.Params{Nodes: 4, PPN: 8, TransferSize: beegfs.MiB, StripeCount: 8}.WithTotalSize(8 * beegfs.GiB), Apps: 2},
 		}
 		proto := Protocol{Repetitions: 6, BlockSize: 3, MinWait: 0.5, MaxWait: 2, Seed: 77}
-		recs, err := Campaign{Dep: dep, Proto: proto, BackgroundCreateRate: 4}.Run(cfgs)
+		recs, err := Campaign{
+			Platform: cluster.PlaFRIM(cluster.Scenario2Omnipath),
+			Proto:    proto, Workers: workers, BackgroundCreateRate: 4,
+		}.Run(cfgs)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -493,34 +480,37 @@ func TestCampaignDeterminism(t *testing.T) {
 		}
 		return out
 	}
-	x, y := run(), run()
-	if len(x) != len(y) {
-		t.Fatalf("lengths differ: %d vs %d", len(x), len(y))
+	x, y := run(1), run(1)
+	z := run(4) // the pool must not change a single bit
+	if len(x) != len(y) || len(x) != len(z) {
+		t.Fatalf("lengths differ: %d vs %d vs %d", len(x), len(y), len(z))
 	}
 	for i := range x {
 		if x[i] != y[i] {
-			t.Fatalf("value %d differs: %v vs %v", i, x[i], y[i])
+			t.Fatalf("rerun value %d differs: %v vs %v", i, x[i], y[i])
+		}
+		if x[i] != z[i] {
+			t.Fatalf("parallel value %d differs: %v vs %v", i, x[i], z[i])
 		}
 	}
 }
 
-// A target failing mid-campaign: new files avoid it; the campaign
-// completes; allocations shrink to the 7 surviving targets.
+// A target failing at the start of every repetition: new files avoid it;
+// the campaign completes; allocations shrink to the 7 surviving targets.
 func TestCampaignSurvivesTargetFailure(t *testing.T) {
-	dep, err := cluster.PlaFRIM(cluster.Scenario1Ethernet).Deploy()
-	if err != nil {
-		t.Fatal(err)
-	}
 	cfg := Config{
 		Label:  "x",
 		Params: ior.Params{Nodes: 4, PPN: 4, TransferSize: beegfs.MiB, StripeCount: 7}.WithTotalSize(4 * beegfs.GiB),
 	}
 	proto := Protocol{Repetitions: 4, BlockSize: 2, MinWait: 0.1, MaxWait: 0.5, Seed: 5}
-	// Fail OST 203 before the campaign.
-	if err := dep.FS.Mgmtd().SetOnline(203, false); err != nil {
-		t.Fatal(err)
-	}
-	recs, err := Campaign{Dep: dep, Proto: proto}.Run([]Config{cfg})
+	recs, err := Campaign{
+		Platform: cluster.PlaFRIM(cluster.Scenario1Ethernet),
+		Proto:    proto,
+		// Fail OST 203 on each repetition's fresh deployment before it runs.
+		Setup: func(dep *cluster.Deployment) error {
+			return dep.FS.Mgmtd().SetOnline(203, false)
+		},
+	}.Run([]Config{cfg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -540,24 +530,34 @@ func TestCampaignSurvivesTargetFailure(t *testing.T) {
 // each repetition (as IOR does), so storage-target usage returns to zero
 // and hundred-repetition campaigns cannot hit ENOSPC.
 func TestCampaignCleansUpFiles(t *testing.T) {
-	dep, err := cluster.PlaFRIM(cluster.Scenario2Omnipath).Deploy()
-	if err != nil {
-		t.Fatal(err)
-	}
 	cfg := Config{
 		Label:  "x",
 		Params: ior.Params{Nodes: 4, PPN: 8, TransferSize: beegfs.MiB, StripeCount: 8}.WithTotalSize(32 * beegfs.GiB),
 	}
 	proto := Protocol{Repetitions: 5, BlockSize: 5, Seed: 3}
-	if _, err := (Campaign{Dep: dep, Proto: proto}).Run([]Config{cfg}); err != nil {
+	inspected := 0
+	_, err := Campaign{
+		Platform: cluster.PlaFRIM(cluster.Scenario2Omnipath),
+		Proto:    proto,
+		Workers:  1, // keep the plain inspected counter race-free
+		// Inspect runs post-cleanup on each repetition's private deployment.
+		Inspect: func(dep *cluster.Deployment, rec *Record) error {
+			inspected++
+			if n := dep.FS.Meta().FileCount(); n != 0 {
+				t.Errorf("rep %d: %d files left after cleanup", rec.Rep, n)
+			}
+			for _, tg := range dep.FS.Storage().Targets() {
+				if tg.Used() != 0 {
+					t.Errorf("rep %d: target %d still holds %d bytes", rec.Rep, tg.ID, tg.Used())
+				}
+			}
+			return nil
+		},
+	}.Run([]Config{cfg})
+	if err != nil {
 		t.Fatal(err)
 	}
-	if n := dep.FS.Meta().FileCount(); n != 0 {
-		t.Fatalf("%d files left after the campaign", n)
-	}
-	for _, tg := range dep.FS.Storage().Targets() {
-		if tg.Used() != 0 {
-			t.Fatalf("target %d still holds %d bytes", tg.ID, tg.Used())
-		}
+	if inspected != 5 {
+		t.Fatalf("Inspect ran %d times, want 5", inspected)
 	}
 }

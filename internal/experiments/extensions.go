@@ -23,48 +23,50 @@ type ExtNNRow struct {
 }
 
 // ExtNN runs the access-pattern comparison on scenario 2 with stripe
-// count 8.
+// count 8. The 12 (geometry, mode) cells are independent campaigns and run
+// on the cell pool next to each campaign's repetition pool.
 func ExtNN(opts Options) ([]ExtNNRow, error) {
 	geometries := []struct{ nodes, ppn int }{
 		{4, 8}, {8, 8}, {16, 8}, {16, 16},
 	}
+	const modes = 3
+	means := make([]float64, len(geometries)*modes)
+	err := forEachCell(len(means), opts.Workers, func(i int) error {
+		gi, mode := i/modes, i%modes
+		g := geometries[gi]
+		p := cluster.PlaFRIM(cluster.Scenario2Omnipath)
+		if mode == 2 {
+			p.FS.MDSOpRate = 2000
+		}
+		params := ior.Params{
+			Nodes: g.nodes, PPN: g.ppn,
+			TransferSize: 1 * beegfs.MiB,
+			StripeCount:  8,
+		}.WithTotalSize(32 * beegfs.GiB)
+		if mode > 0 {
+			params.Pattern = ior.FilePerProcess
+		}
+		o := opts
+		o.Seed = opts.Seed*31 + uint64(gi*modes+mode)
+		recs, err := Campaign{Platform: p, Proto: o.protocol(), Workers: o.Workers}.Run(
+			[]Config{{Label: "x", Params: params}})
+		if err != nil {
+			return err
+		}
+		means[i] = stats.Mean(Bandwidths(recs))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var out []ExtNNRow
 	for gi, g := range geometries {
-		row := ExtNNRow{Nodes: g.nodes, PPN: g.ppn}
-		for mode := 0; mode < 3; mode++ {
-			p := cluster.PlaFRIM(cluster.Scenario2Omnipath)
-			if mode == 2 {
-				p.FS.MDSOpRate = 2000
-			}
-			dep, err := p.Deploy()
-			if err != nil {
-				return nil, err
-			}
-			params := ior.Params{
-				Nodes: g.nodes, PPN: g.ppn,
-				TransferSize: 1 * beegfs.MiB,
-				StripeCount:  8,
-			}.WithTotalSize(32 * beegfs.GiB)
-			if mode > 0 {
-				params.Pattern = ior.FilePerProcess
-			}
-			o := opts
-			o.Seed = opts.Seed*31 + uint64(gi*3+mode)
-			recs, err := Campaign{Dep: dep, Proto: o.protocol()}.Run([]Config{{Label: "x", Params: params}})
-			if err != nil {
-				return nil, err
-			}
-			mean := stats.Mean(Bandwidths(recs))
-			switch mode {
-			case 0:
-				row.SharedMean = mean
-			case 1:
-				row.PerProcMean = mean
-			case 2:
-				row.PerProcLimitedMean = mean
-			}
-		}
-		out = append(out, row)
+		out = append(out, ExtNNRow{
+			Nodes: g.nodes, PPN: g.ppn,
+			SharedMean:         means[gi*modes+0],
+			PerProcMean:        means[gi*modes+1],
+			PerProcLimitedMean: means[gi*modes+2],
+		})
 	}
 	return out, nil
 }
@@ -84,10 +86,6 @@ type ExtReadRow struct {
 
 // ExtRead runs the write+read comparison on scenario 1 (8 nodes x 8 ppn).
 func ExtRead(opts Options) ([]ExtReadRow, error) {
-	dep, err := cluster.PlaFRIM(cluster.Scenario1Ethernet).Deploy()
-	if err != nil {
-		return nil, err
-	}
 	var cfgs []Config
 	for count := 1; count <= 8; count++ {
 		params := ior.Params{
@@ -98,7 +96,7 @@ func ExtRead(opts Options) ([]ExtReadRow, error) {
 		}.WithTotalSize(32 * beegfs.GiB)
 		cfgs = append(cfgs, Config{Label: fmt.Sprintf("count%d", count), Params: params})
 	}
-	recs, err := Campaign{Dep: dep, Proto: opts.protocol()}.Run(cfgs)
+	recs, err := opts.campaign(cluster.Scenario1Ethernet).Run(cfgs)
 	if err != nil {
 		return nil, err
 	}

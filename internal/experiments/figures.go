@@ -19,6 +19,10 @@ type Options struct {
 	// FastProtocol shortens the inter-block waits (tests); the default
 	// reproduces the paper's 1-30 minute waits.
 	FastProtocol bool
+	// Workers bounds how many repetitions (and independent figure cells)
+	// simulate concurrently. 0 selects runtime.NumCPU(); 1 is fully
+	// serial. Results are bit-identical for every value.
+	Workers int
 }
 
 func (o Options) protocol() Protocol {
@@ -32,8 +36,8 @@ func (o Options) protocol() Protocol {
 	return p
 }
 
-func deployOrDie(s cluster.Scenario) (*cluster.Deployment, error) {
-	return cluster.PlaFRIM(s).Deploy()
+func (o Options) campaign(scenario cluster.Scenario) Campaign {
+	return Campaign{Platform: cluster.PlaFRIM(scenario), Proto: o.protocol(), Workers: o.Workers}
 }
 
 func baseParams(nodes, ppn, count int, total int64) ior.Params {
@@ -64,10 +68,6 @@ func summarizePoint(x float64, label string, samples []float64) (SweepPoint, err
 // with 32 processes on 4 nodes and stripe count 4. Small sizes show lower
 // bandwidth and higher variability; performance stabilizes by 16-32 GiB.
 func Fig2(scenario cluster.Scenario, opts Options) ([]SweepPoint, error) {
-	dep, err := deployOrDie(scenario)
-	if err != nil {
-		return nil, err
-	}
 	sizes := []int64{1, 2, 4, 8, 16, 32, 64}
 	var cfgs []Config
 	for _, g := range sizes {
@@ -76,7 +76,7 @@ func Fig2(scenario cluster.Scenario, opts Options) ([]SweepPoint, error) {
 			Params: baseParams(4, 8, 4, g*beegfs.GiB),
 		})
 	}
-	recs, err := Campaign{Dep: dep, Proto: opts.protocol()}.Run(cfgs)
+	recs, err := opts.campaign(scenario).Run(cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -108,10 +108,6 @@ func Fig4(scenario cluster.Scenario, opts Options) ([]SweepPoint, error) {
 }
 
 func nodeSweepFigure(scenario cluster.Scenario, ppn int, opts Options) ([]SweepPoint, error) {
-	dep, err := deployOrDie(scenario)
-	if err != nil {
-		return nil, err
-	}
 	nodes := nodeSweep(scenario)
 	var cfgs []Config
 	for _, n := range nodes {
@@ -120,7 +116,7 @@ func nodeSweepFigure(scenario cluster.Scenario, ppn int, opts Options) ([]SweepP
 			Params: baseParams(n, ppn, 4, 32*beegfs.GiB),
 		})
 	}
-	recs, err := Campaign{Dep: dep, Proto: opts.protocol()}.Run(cfgs)
+	recs, err := opts.campaign(scenario).Run(cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -146,15 +142,21 @@ type Fig5Series struct {
 // node. The behaviours coincide, with a slight degradation at 16 ppn in
 // scenario 2 (intra-node contention, lesson 3).
 func Fig5(scenario cluster.Scenario, opts Options) ([]Fig5Series, error) {
-	var out []Fig5Series
-	for _, ppn := range []int{8, 16} {
+	ppns := []int{8, 16}
+	out := make([]Fig5Series, len(ppns))
+	err := forEachCell(len(ppns), opts.Workers, func(i int) error {
+		ppn := ppns[i]
 		o := opts
 		o.Seed = opts.Seed*2 + uint64(ppn)
 		pts, err := nodeSweepFigure(scenario, ppn, o)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, Fig5Series{PPN: ppn, Points: pts})
+		out[i] = Fig5Series{PPN: ppn, Points: pts}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -173,10 +175,6 @@ type CountPoint struct {
 // 8 nodes; scenario 2: 32 nodes; 8 ppn; 100 individual executions drawn as
 // dots in the paper).
 func Fig6(scenario cluster.Scenario, opts Options) ([]CountPoint, error) {
-	dep, err := deployOrDie(scenario)
-	if err != nil {
-		return nil, err
-	}
 	nodes := 8
 	if scenario == cluster.Scenario2Omnipath {
 		nodes = 32
@@ -188,7 +186,7 @@ func Fig6(scenario cluster.Scenario, opts Options) ([]CountPoint, error) {
 			Params: baseParams(nodes, 8, count, 32*beegfs.GiB),
 		})
 	}
-	recs, err := Campaign{Dep: dep, Proto: opts.protocol()}.Run(cfgs)
+	recs, err := opts.campaign(scenario).Run(cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -275,10 +273,6 @@ type Fig11Cell struct {
 // stripe counts 2, 4, 6, 8 — more targets offer a higher peak but need
 // more compute nodes to reach it (lesson 6).
 func Fig11(opts Options) ([]Fig11Cell, error) {
-	dep, err := deployOrDie(cluster.Scenario2Omnipath)
-	if err != nil {
-		return nil, err
-	}
 	counts := []int{2, 4, 6, 8}
 	nodes := []int{1, 2, 4, 8, 16, 32}
 	var cfgs []Config
@@ -290,7 +284,7 @@ func Fig11(opts Options) ([]Fig11Cell, error) {
 			})
 		}
 	}
-	recs, err := Campaign{Dep: dep, Proto: opts.protocol()}.Run(cfgs)
+	recs, err := opts.campaign(cluster.Scenario2Omnipath).Run(cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -333,10 +327,6 @@ type Fig12Row struct {
 // the production-system effect behind the paper's "two thirds / one
 // third" split (§IV-D).
 func Fig12(opts Options) ([]Fig12Row, error) {
-	dep, err := deployOrDie(cluster.Scenario2Omnipath)
-	if err != nil {
-		return nil, err
-	}
 	appsList := []int{2, 3, 4}
 	counts := []int{2, 4, 8}
 	var cfgs []Config
@@ -369,7 +359,8 @@ func Fig12(opts Options) ([]Fig12Row, error) {
 			})
 		}
 	}
-	camp := Campaign{Dep: dep, Proto: opts.protocol(), BackgroundCreateRate: 4}
+	camp := opts.campaign(cluster.Scenario2Omnipath)
+	camp.BackgroundCreateRate = 4
 	recs, err := camp.Run(cfgs)
 	if err != nil {
 		return nil, err

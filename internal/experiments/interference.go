@@ -42,20 +42,21 @@ func (i Interference) Validate() error {
 }
 
 // arm schedules at most one interference event for the repetition
-// starting now. It returns immediately; the event applies and reverts
-// itself on the simulation clock. Capacity is restored to the *current*
-// (jittered) value, so arm must run after ReJitter.
-func (i Interference) arm(c Campaign, src *rng.Source) {
+// starting now on the repetition's private deployment. It returns
+// immediately; the event applies and reverts itself on the simulation
+// clock. Capacity is restored to the *current* (jittered) value, so arm
+// must run after ReJitter.
+func (i Interference) arm(dep *cluster.Deployment, src *rng.Source) {
 	if i.Prob == 0 || src.Float64() >= i.Prob {
 		return
 	}
 	// Pick a victim resource: a server NIC when present, else a target.
 	var victim *simnet.Resource
-	hosts := c.Dep.FS.Storage().Hosts()
-	if nic := c.Dep.FS.ServerNIC(hosts[src.Intn(len(hosts))]); nic != nil {
+	hosts := dep.FS.Storage().Hosts()
+	if nic := dep.FS.ServerNIC(hosts[src.Intn(len(hosts))]); nic != nil {
 		victim = nic
 	} else {
-		targets := c.Dep.FS.Storage().Targets()
+		targets := dep.FS.Storage().Targets()
 		victim = targets[src.Intn(len(targets))].Resource()
 	}
 	maxStart := i.MaxStart
@@ -63,16 +64,16 @@ func (i Interference) arm(c Campaign, src *rng.Source) {
 		maxStart = 5
 	}
 	start := src.UniformRange(0, maxStart)
-	sim := c.Dep.Sim
+	sim := dep.Sim
 	sim.After(start, func() {
 		before := victim.Capacity()
 		degraded := before * i.Severity
-		c.Dep.Net.SetCapacity(victim, degraded)
+		dep.Net.SetCapacity(victim, degraded)
 		sim.After(i.Duration, func() {
-			// Restore only if nothing else (ReJitter of a later rep)
-			// already rewrote the capacity.
+			// Restore only if nothing else (a fault recovery in the same
+			// repetition) already rewrote the capacity.
 			if victim.Capacity() == degraded {
-				c.Dep.Net.SetCapacity(victim, before)
+				dep.Net.SetCapacity(victim, before)
 			}
 		})
 	})
@@ -99,11 +100,8 @@ func ComparePolicies(apps int, opts Options) (PolicyComparison, error) {
 	if apps <= 1 {
 		return PolicyComparison{}, fmt.Errorf("experiments: need at least 2 applications")
 	}
-	dep, err := deployOrDie(scenario2())
-	if err != nil {
-		return PolicyComparison{}, err
-	}
-	total := len(dep.FS.Storage().Targets())
+	p := cluster.PlaFRIM(scenario2())
+	total := p.FS.Hosts * p.FS.TargetsPerHost
 	adapted := total / apps
 	if adapted < 1 {
 		adapted = 1
@@ -112,7 +110,7 @@ func ComparePolicies(apps int, opts Options) (PolicyComparison, error) {
 		{Label: "max", Params: baseParams(8, 8, total, 32*gib()), Apps: apps},
 		{Label: "adapted", Params: baseParams(8, 8, adapted, 32*gib()), Apps: apps},
 	}
-	recs, err := Campaign{Dep: dep, Proto: opts.protocol()}.Run(cfgs)
+	recs, err := Campaign{Platform: p, Proto: opts.protocol(), Workers: opts.Workers}.Run(cfgs)
 	if err != nil {
 		return PolicyComparison{}, err
 	}

@@ -30,16 +30,12 @@ func TestInterferenceValidate(t *testing.T) {
 
 func TestInterferenceWidensSpread(t *testing.T) {
 	run := func(inj *Interference) []float64 {
-		dep, err := cluster.PlaFRIM(cluster.Scenario1Ethernet).Deploy()
-		if err != nil {
-			t.Fatal(err)
-		}
 		cfg := Config{
 			Label:  "x",
 			Params: ior.Params{Nodes: 8, PPN: 8, TransferSize: beegfs.MiB, StripeCount: 8}.WithTotalSize(32 * beegfs.GiB),
 		}
 		proto := Protocol{Repetitions: 30, BlockSize: 10, MinWait: 0.5, MaxWait: 2, Seed: 9}
-		recs, err := Campaign{Dep: dep, Proto: proto, Interference: inj}.Run([]Config{cfg})
+		recs, err := Campaign{Platform: cluster.PlaFRIM(cluster.Scenario1Ethernet), Proto: proto, Interference: inj}.Run([]Config{cfg})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -67,17 +63,13 @@ func TestInterferenceWidensSpread(t *testing.T) {
 }
 
 func TestInterferenceBadConfigSurfacesError(t *testing.T) {
-	dep, err := cluster.PlaFRIM(cluster.Scenario1Ethernet).Deploy()
-	if err != nil {
-		t.Fatal(err)
-	}
 	cfg := Config{
 		Label:  "x",
 		Params: ior.Params{Nodes: 1, PPN: 1, TransferSize: beegfs.MiB, StripeCount: 1}.WithTotalSize(beegfs.GiB),
 	}
 	proto := Protocol{Repetitions: 1, BlockSize: 1, Seed: 1}
 	bad := &Interference{Prob: 2, Severity: 0.5, Duration: 1}
-	if _, err := (Campaign{Dep: dep, Proto: proto, Interference: bad}).Run([]Config{cfg}); err == nil {
+	if _, err := (Campaign{Platform: cluster.PlaFRIM(cluster.Scenario1Ethernet), Proto: proto, Interference: bad}).Run([]Config{cfg}); err == nil {
 		t.Fatal("invalid interference config accepted")
 	}
 }

@@ -6,7 +6,12 @@ package experiments
 
 import (
 	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
+	"repro/internal/beegfs"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/faults"
@@ -25,7 +30,11 @@ import (
 //
 // Randomized block order and inter-block waits decorrelate repetitions
 // from transient system state; in the simulator, the "system state" is the
-// per-run capacity jitter redrawn by ReJitter.
+// per-run capacity jitter redrawn by ReJitter. Because only time
+// *differences* enter any result (bandwidth = volume / (end - start)), the
+// inter-block waits provably cannot change a record; the engine therefore
+// keeps the wait parameters for protocol fidelity but does not burn
+// virtual time on them.
 type Protocol struct {
 	Repetitions int
 	BlockSize   int
@@ -113,10 +122,26 @@ func (r Record) Alloc() core.Allocation {
 	return r.Apps[0].Alloc
 }
 
-// Campaign executes experiments on a deployment under a protocol.
+// Campaign executes experiments on a platform under a protocol.
+//
+// Every repetition is an independent simulation: the engine deploys a
+// private cluster/file-system instance per repetition, seeds it with a
+// pre-split rng stream and the round-robin cursor position the serial
+// §III-C protocol would have reached, and runs repetitions concurrently on
+// a worker pool. Results are merged back in execution order (the
+// randomized block order), so the output is bit-equal for every worker
+// count — Workers only changes wall-clock time.
 type Campaign struct {
-	Dep   *cluster.Deployment
-	Proto Protocol
+	// Platform describes the system under test. Each repetition deploys
+	// a fresh instance (its own clock, flow network and file system), so
+	// no mutable state is shared between repetitions.
+	Platform cluster.Platform
+	Proto    Protocol
+	// Workers bounds how many repetitions simulate concurrently.
+	// 0 selects runtime.NumCPU(); 1 runs everything inline on the
+	// calling goroutine (the serial path). Results are identical for
+	// every value.
+	Workers int
 	// Interference, when non-nil, injects transient capacity-loss events
 	// (§III-C item ii) with the configured probability per repetition.
 	Interference *Interference
@@ -135,12 +160,33 @@ type Campaign struct {
 	// without it, back-to-back creations at stripe count 4 on PlaFRIM's
 	// 8-target cycle are always complementary and never share (§IV-D).
 	BackgroundCreateRate float64
+	// Setup, when non-nil, runs on every repetition's fresh deployment
+	// before the repetition starts (e.g. pre-failing a target). It may be
+	// called from worker goroutines concurrently; it must only touch the
+	// deployment it is handed.
+	Setup func(*cluster.Deployment) error
+	// Inspect, when non-nil, runs right after a repetition finishes, with
+	// the repetition's deployment and completed record (post-cleanup
+	// assertions, extra metrics). Same concurrency caveat as Setup.
+	Inspect func(*cluster.Deployment, *Record) error
 }
 
-var bgSeq int
+// unit is one repetition of one configuration, annotated during phase 1
+// with everything it needs to run as an isolated simulation.
+type unit struct {
+	cfg int
+	rep int
+	// src is the unit's private rng stream, split from the campaign
+	// source at a fixed point so it does not depend on scheduling.
+	src *rng.Source
+	// cursor is the round-robin chooser position at the unit's start,
+	// precomputed by replaying the serial protocol's create sequence.
+	cursor int
+}
 
 // Run executes the full randomized campaign and returns one Record per
-// (experiment, repetition), in completion order.
+// (experiment, repetition) in execution order — the §III-C randomized
+// block order, independent of Workers.
 func (c Campaign) Run(cfgs []Config) ([]Record, error) {
 	if err := c.Proto.Validate(); err != nil {
 		return nil, err
@@ -148,12 +194,13 @@ func (c Campaign) Run(cfgs []Config) ([]Record, error) {
 	if len(cfgs) == 0 {
 		return nil, fmt.Errorf("experiments: no configurations")
 	}
+	if c.Interference != nil {
+		if err := c.Interference.Validate(); err != nil {
+			return nil, err
+		}
+	}
 	src := rng.New(c.Proto.Seed)
 	// Step 1: the full run list, per experiment.
-	type unit struct {
-		cfg int
-		rep int
-	}
 	var list []unit
 	for ci := range cfgs {
 		for rep := 0; rep < c.Proto.Repetitions; rep++ {
@@ -169,75 +216,228 @@ func (c Campaign) Run(cfgs []Config) ([]Record, error) {
 		}
 		blocks = append(blocks, list[start:end])
 	}
-	// Step 3: random block order.
+	// Step 3: random block order, flattened into the execution schedule.
 	order := src.Perm(len(blocks))
-	var out []Record
-	for bi, oi := range order {
-		for _, u := range blocks[oi] {
-			rec, err := c.runOnce(cfgs[u.cfg], u.rep, src)
+	exec := make([]unit, 0, len(list))
+	for _, oi := range order {
+		exec = append(exec, blocks[oi]...)
+	}
+	// Phase 1 (serial, cheap): derive each unit's private rng stream and
+	// its round-robin cursor seed by walking the execution order once.
+	// Splitting is keyed by (cfg, rep) so a unit's stream is a pure
+	// function of the campaign seed and its identity; the cursor replays
+	// the serial protocol's file-creation arithmetic (each create
+	// advances the cursor by its stripe count, background creates
+	// included), which is the cross-repetition coupling behind Figure
+	// 6a's bimodality.
+	nTargets := c.Platform.FS.Hosts * c.Platform.FS.TargetsPerHost
+	cursor := 0
+	for i := range exec {
+		u := &exec[i]
+		u.src = src.Split(uint64(u.cfg)<<32 | uint64(u.rep))
+		u.cursor = cursor
+		cursor = (cursor + c.cursorAdvance(cfgs[u.cfg], u, nTargets)) % nTargets
+	}
+	// Phase 2: run the units on the worker pool, each as an isolated
+	// simulation, and merge results by execution position.
+	return c.runUnits(cfgs, exec)
+}
+
+// cursorAdvance returns how far one unit's file creations move the
+// round-robin cursor: one create of the effective stripe count per
+// application file (one for shared-file runs, one per rank for
+// file-per-process), plus one default-pattern create per background
+// arrival. Background arrivals are replayed from a probe split of the
+// unit's stream — Split does not consume parent state, so the runtime draw
+// sees the identical sequence.
+func (c Campaign) cursorAdvance(cfg Config, u *unit, nTargets int) int {
+	if nTargets <= 0 {
+		return 0
+	}
+	clamp := func(k int) int {
+		if k > nTargets {
+			return nTargets
+		}
+		return k
+	}
+	k := cfg.Params.StripeCount
+	if k <= 0 {
+		k = c.Platform.FS.DefaultPattern.Count
+	}
+	files := 1
+	if cfg.Params.Pattern == ior.FilePerProcess {
+		files = cfg.Params.Nodes * cfg.Params.PPN
+	}
+	advance := cfg.apps() * files * clamp(k)
+	if c.BackgroundCreateRate > 0 {
+		probe := u.src.Split(bgSplitID)
+		kbg := clamp(c.Platform.FS.DefaultPattern.Count)
+		for t := probe.Exp(1 / c.BackgroundCreateRate); t < 1.0; t += probe.Exp(1 / c.BackgroundCreateRate) {
+			advance += kbg
+		}
+	}
+	return advance % nTargets
+}
+
+// Child-stream ids within a unit's source. Fixed and disjoint, so adding a
+// consumer never perturbs the others.
+const (
+	interferenceSplitID = 2
+	bgSplitID           = 3
+	appSplitBase        = 16
+)
+
+// runUnits executes the schedule on min(Workers, len(exec)) goroutines.
+// Each worker claims the next unclaimed execution position (an atomic
+// counter), runs it on a private deployment, and stores the result in its
+// slot. On error the first failing unit *by execution position* wins —
+// exactly the error the serial run would have returned — and positions
+// after it are skipped (they cannot change the outcome).
+func (c Campaign) runUnits(cfgs []Config, exec []unit) ([]Record, error) {
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(exec) {
+		workers = len(exec)
+	}
+	if workers <= 1 {
+		// Serial path: identical semantics, no goroutines.
+		out := make([]Record, 0, len(exec))
+		for i := range exec {
+			rec, err := c.runUnit(cfgs[exec[i].cfg], &exec[i])
 			if err != nil {
 				return nil, err
 			}
 			out = append(out, rec)
 		}
-		// Step 4: random wait between blocks (not after the last).
-		if bi < len(order)-1 && c.Proto.MaxWait > 0 {
-			wait := src.UniformRange(c.Proto.MinWait, c.Proto.MaxWait)
-			if err := c.Dep.Sim.RunUntil(c.Dep.Sim.Now() + simkernel.Time(wait)); err != nil {
-				return nil, err
-			}
-		}
+		return out, nil
 	}
-	return out, nil
+	recs := make([]Record, len(exec))
+	errs := make([]error, len(exec))
+	var next atomic.Int64
+	next.Store(-1)
+	minErr := atomic.Int64{}
+	minErr.Store(math.MaxInt64)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(exec) {
+					return
+				}
+				if int64(i) > minErr.Load() {
+					// A unit after the earliest known error cannot be
+					// reported; skipping it keeps the returned error
+					// deterministic and saves work.
+					continue
+				}
+				rec, err := c.runUnit(cfgs[exec[i].cfg], &exec[i])
+				if err != nil {
+					errs[i] = err
+					for {
+						cur := minErr.Load()
+						if int64(i) >= cur || minErr.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+					continue
+				}
+				recs[i] = rec
+			}
+		}()
+	}
+	wg.Wait()
+	if m := minErr.Load(); m != math.MaxInt64 {
+		return nil, errs[m]
+	}
+	return recs, nil
 }
 
-// runOnce executes one repetition: redraw system state, then run the
-// experiment's application(s) concurrently and gather Equation 1.
-func (c Campaign) runOnce(cfg Config, rep int, src *rng.Source) (Record, error) {
-	c.Dep.ReJitter(src)
-	if c.Interference != nil {
-		if err := c.Interference.Validate(); err != nil {
+// deployUnit instantiates a private deployment for one unit: the platform
+// with a cloned chooser (so concurrent units share no chooser state),
+// cursor-seeded to the unit's scheduled position.
+func (c Campaign) deployUnit(u *unit) (*cluster.Deployment, error) {
+	p := c.Platform
+	if cl, ok := p.FS.Chooser.(beegfs.CloneChooser); ok {
+		p.FS.Chooser = cl.Clone()
+	}
+	dep, err := p.Deploy()
+	if err != nil {
+		return nil, err
+	}
+	if cc, ok := p.FS.Chooser.(beegfs.CursorChooser); ok {
+		cc.SetCursor(u.cursor)
+	}
+	return dep, nil
+}
+
+// runUnit executes one repetition on a fresh deployment: redraw system
+// state, then run the experiment's application(s) concurrently and gather
+// Equation 1.
+func (c Campaign) runUnit(cfg Config, u *unit) (Record, error) {
+	dep, err := c.deployUnit(u)
+	if err != nil {
+		return Record{}, err
+	}
+	if c.Setup != nil {
+		if err := c.Setup(dep); err != nil {
 			return Record{}, err
 		}
-		c.Interference.arm(c, src.Split(uint64(rep)*613+11))
+	}
+	rep := u.rep
+	apps := cfg.apps()
+	// Split all child streams before any direct draw on u.src (the
+	// repo-wide "split first, draw later" contract).
+	interSrc := u.src.Split(interferenceSplitID)
+	bgSrc := u.src.Split(bgSplitID)
+	appSrcs := make([]*rng.Source, apps)
+	for a := range appSrcs {
+		appSrcs[a] = u.src.Split(appSplitBase + uint64(a))
+	}
+	dep.ReJitter(u.src)
+	if c.Interference != nil {
+		c.Interference.arm(dep, interSrc)
 	}
 	if len(c.Faults) > 0 {
-		if err := faults.NewInjector(c.Dep.FS).Arm(c.Faults); err != nil {
+		if err := faults.NewInjector(dep.FS).Arm(c.Faults); err != nil {
 			return Record{}, err
 		}
 	}
-	apps := cfg.apps()
 	nodesPerApp := cfg.Params.Nodes
-	nodes := c.Dep.Nodes(apps * nodesPerApp)
+	nodes := dep.Nodes(apps * nodesPerApp)
 	rec := Record{Label: cfg.Label, Rep: rep}
 
 	runs := make([]*ior.Run, apps)
 	remaining := apps
 	for a := 0; a < apps; a++ {
 		p := cfg.Params
-		p.SetupMean = c.Dep.Platform.SetupMean
-		p.SetupCV = c.Dep.Platform.SetupCV
+		p.SetupMean = dep.Platform.SetupMean
+		p.SetupCV = dep.Platform.SetupCV
 		p.App = fmt.Sprintf("%s/app%d", cfg.Label, a+1)
 		p.Path = fmt.Sprintf("/%s/app%d/data", cfg.Label, a+1)
 		slice := nodes[a*nodesPerApp : (a+1)*nodesPerApp]
-		run, err := ior.Start(c.Dep.FS, slice, p, src.Split(uint64(rep*37+a)), func(ior.Result) { remaining-- })
+		run, err := ior.Start(dep.FS, slice, p, appSrcs[a], func(ior.Result) { remaining-- })
 		if err != nil {
 			return Record{}, err
 		}
 		runs[a] = run
 	}
-	sim := c.Dep.Sim
+	sim := dep.Sim
 	if c.BackgroundCreateRate > 0 {
 		// Other users' metadata traffic during the window in which the
 		// experiment's applications create their files (~the setup phase).
-		bgSrc := src.Split(uint64(rep)*101 + 7)
+		bgSeq := 0
 		for t := bgSrc.Exp(1 / c.BackgroundCreateRate); t < 1.0; t += bgSrc.Exp(1 / c.BackgroundCreateRate) {
 			bgSeq++
 			path := fmt.Sprintf("/background/f%08d", bgSeq)
 			sim.After(t, func() {
 				// Ignore errors: a duplicate path or exhausted target set
 				// only means this background create is a no-op.
-				_, _ = c.Dep.FS.Create(path, bgSrc)
+				_, _ = dep.FS.Create(path, bgSrc)
 			})
 		}
 	}
@@ -258,7 +458,7 @@ func (c Campaign) runOnce(cfg Config, rep int, src *rng.Source) (Record, error) 
 		ar := AppResult{
 			App:    res.Params.App,
 			Result: res,
-			Alloc:  core.FromPerHostMap(res.PerHost, c.Dep.Platform.FS.Hosts),
+			Alloc:  core.FromPerHostMap(res.PerHost, dep.Platform.FS.Hosts),
 		}
 		rec.Apps = append(rec.Apps, ar)
 		volSum += float64(res.Params.TotalBytes()) / float64(1<<20)
@@ -288,9 +488,14 @@ func (c Campaign) runOnce(cfg Config, rep int, src *rng.Source) (Record, error) 
 	// of hundreds of 32 GiB repetitions do not fill the storage targets.
 	for _, run := range runs {
 		for _, path := range run.Result().Paths {
-			if err := c.Dep.FS.Remove(path); err != nil {
+			if err := dep.FS.Remove(path); err != nil {
 				return Record{}, fmt.Errorf("experiments: cleanup of %q failed: %w", path, err)
 			}
+		}
+	}
+	if c.Inspect != nil {
+		if err := c.Inspect(dep, &rec); err != nil {
+			return Record{}, err
 		}
 	}
 	return rec, nil

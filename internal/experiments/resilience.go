@@ -66,66 +66,76 @@ type ExtResilienceRow struct {
 // survive via the client retry/backoff path — a campaign that aborts is a
 // bug, not a result.
 func ExtResilience(opts Options) ([]ExtResilienceRow, error) {
-	var out []ExtResilienceRow
-	for _, scen := range []cluster.Scenario{cluster.Scenario1Ethernet, cluster.Scenario2Omnipath} {
-		for si, scheme := range DefaultFaultSchemes() {
-			dep, err := cluster.PlaFRIM(scen).Deploy()
+	scens := []cluster.Scenario{cluster.Scenario1Ethernet, cluster.Scenario2Omnipath}
+	schemes := DefaultFaultSchemes()
+	// The (scenario, scheme) cells are independent campaigns; run them on
+	// the cell pool and stitch the per-cell rows back in nested-loop order.
+	cellRows := make([][]ExtResilienceRow, len(scens)*len(schemes))
+	err := forEachCell(len(cellRows), opts.Workers, func(cell int) error {
+		scen := scens[cell/len(schemes)]
+		si := cell % len(schemes)
+		scheme := schemes[si]
+		o := opts
+		o.Seed = opts.Seed*97 + uint64(int(scen))*31 + uint64(si)
+		recs, err := Campaign{
+			Platform: cluster.PlaFRIM(scen),
+			Proto:    o.protocol(),
+			Workers:  o.Workers,
+			Faults:   scheme.Schedule,
+		}.Run([]Config{{Label: scheme.Name, Params: baseParams(8, 8, 4, 32*beegfs.GiB)}})
+		if err != nil {
+			return fmt.Errorf("resilience %s/%s: %w", scen, scheme.Name, err)
+		}
+		byAlloc := map[string][]Record{}
+		var keys []string
+		for _, r := range recs {
+			k := r.Alloc().String()
+			if _, ok := byAlloc[k]; !ok {
+				keys = append(keys, k)
+			}
+			byAlloc[k] = append(byAlloc[k], r)
+		}
+		sort.Strings(keys)
+		addRow := func(alloc string, rs []Record) error {
+			var bws, secs []float64
+			for _, r := range rs {
+				bws = append(bws, r.Bandwidth())
+				res := r.Apps[0].Result
+				secs = append(secs, float64(res.End-res.Start))
+			}
+			sb, err := stats.Summarize(bws)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			o := opts
-			o.Seed = opts.Seed*97 + uint64(int(scen))*31 + uint64(si)
-			recs, err := Campaign{Dep: dep, Proto: o.protocol(), Faults: scheme.Schedule}.Run(
-				[]Config{{Label: scheme.Name, Params: baseParams(8, 8, 4, 32*beegfs.GiB)}})
+			ss, err := stats.Summarize(secs)
 			if err != nil {
-				return nil, fmt.Errorf("resilience %s/%s: %w", scen, scheme.Name, err)
+				return err
 			}
-			byAlloc := map[string][]Record{}
-			var keys []string
-			for _, r := range recs {
-				k := r.Alloc().String()
-				if _, ok := byAlloc[k]; !ok {
-					keys = append(keys, k)
-				}
-				byAlloc[k] = append(byAlloc[k], r)
-			}
-			sort.Strings(keys)
-			addRow := func(alloc string, rs []Record) error {
-				var bws, secs []float64
-				for _, r := range rs {
-					bws = append(bws, r.Bandwidth())
-					res := r.Apps[0].Result
-					secs = append(secs, float64(res.End-res.Start))
-				}
-				sb, err := stats.Summarize(bws)
-				if err != nil {
-					return err
-				}
-				ss, err := stats.Summarize(secs)
-				if err != nil {
-					return err
-				}
-				out = append(out, ExtResilienceRow{
-					Scenario: scen.String(),
-					Fault:    scheme.Name,
-					Alloc:    alloc,
-					N:        sb.N,
-					BWMean:   sb.Mean,
-					BWSD:     sb.SD,
-					SecMean:  ss.Mean,
-					SecSD:    ss.SD,
-				})
-				return nil
-			}
-			for _, k := range keys {
-				if err := addRow(k, byAlloc[k]); err != nil {
-					return nil, err
-				}
-			}
-			if err := addRow("all", recs); err != nil {
-				return nil, err
+			cellRows[cell] = append(cellRows[cell], ExtResilienceRow{
+				Scenario: scen.String(),
+				Fault:    scheme.Name,
+				Alloc:    alloc,
+				N:        sb.N,
+				BWMean:   sb.Mean,
+				BWSD:     sb.SD,
+				SecMean:  ss.Mean,
+				SecSD:    ss.SD,
+			})
+			return nil
+		}
+		for _, k := range keys {
+			if err := addRow(k, byAlloc[k]); err != nil {
+				return err
 			}
 		}
+		return addRow("all", recs)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []ExtResilienceRow
+	for _, rows := range cellRows {
+		out = append(out, rows...)
 	}
 	return out, nil
 }

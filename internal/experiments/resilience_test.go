@@ -28,16 +28,12 @@ func TestDefaultFaultSchemesValidate(t *testing.T) {
 
 func resilienceCampaign(t *testing.T, sched faults.Schedule, seed uint64) []Record {
 	t.Helper()
-	dep, err := cluster.PlaFRIM(cluster.Scenario1Ethernet).Deploy()
-	if err != nil {
-		t.Fatal(err)
-	}
 	cfg := Config{
 		Label:  "r",
 		Params: ior.Params{Nodes: 4, PPN: 8, TransferSize: beegfs.MiB, StripeCount: 4}.WithTotalSize(8 * beegfs.GiB),
 	}
 	proto := Protocol{Repetitions: 6, BlockSize: 3, MinWait: 0.5, MaxWait: 2, Seed: seed}
-	recs, err := Campaign{Dep: dep, Proto: proto, Faults: sched}.Run([]Config{cfg})
+	recs, err := Campaign{Platform: cluster.PlaFRIM(cluster.Scenario1Ethernet), Proto: proto, Faults: sched}.Run([]Config{cfg})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// forEachCell runs fn(0..n-1) on up to `workers` goroutines (0 selects
+// runtime.NumCPU(); <=1 runs inline). Figure builders use it to fan
+// independent cells — scenarios, fault schemes, ppn series — out next to
+// the per-campaign repetition pool. Each cell writes its own result slot,
+// so output order never depends on scheduling; on failure the error of the
+// lowest-index failing cell is returned, matching the serial path.
+func forEachCell(n, workers int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	next.Store(-1)
+	minErr := atomic.Int64{}
+	minErr.Store(math.MaxInt64)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				if int64(i) > minErr.Load() {
+					continue
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					for {
+						cur := minErr.Load()
+						if int64(i) >= cur || minErr.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if m := minErr.Load(); m != math.MaxInt64 {
+		return errs[m]
+	}
+	return nil
+}

@@ -18,7 +18,6 @@ package faults
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/beegfs"
 	"repro/internal/simnet"
@@ -128,6 +127,10 @@ func (s Schedule) Validate(fs *beegfs.FileSystem) error {
 // Injector applies fault events to a deployment.
 type Injector struct {
 	fs *beegfs.FileSystem
+
+	// doomed is a reusable buffer for the flows collected in
+	// abortFlowsOn, so repeated fault events allocate nothing.
+	doomed []*simnet.Flow
 }
 
 // NewInjector binds an injector to a deployment.
@@ -222,21 +225,13 @@ func (inj *Injector) applyNIC(e Event) {
 // abortFlowsOn aborts every in-flight flow touching any of the resources,
 // each at most once, in name-sorted order (deterministic replay). Resync
 // flows riding a failed resource are aborted like any other; their dirty
-// accounting survives and the next recovery restarts them.
+// accounting survives and the next recovery restarts them. The collection
+// reuses the injector's buffer: one pass over the network's name-sorted
+// active list, no per-event allocation.
 func (inj *Injector) abortFlowsOn(resources ...*simnet.Resource) {
 	net := inj.fs.Network()
-	seen := make(map[*simnet.Flow]bool)
-	var doomed []*simnet.Flow
-	for _, r := range resources {
-		for _, f := range net.FlowsUsing(r) {
-			if !seen[f] {
-				seen[f] = true
-				doomed = append(doomed, f)
-			}
-		}
-	}
-	sort.Slice(doomed, func(i, j int) bool { return doomed[i].Name < doomed[j].Name })
-	for _, f := range doomed {
+	inj.doomed = net.AppendFlowsUsingAny(inj.doomed[:0], resources...)
+	for _, f := range inj.doomed {
 		net.Abort(f)
 	}
 }

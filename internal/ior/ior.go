@@ -200,8 +200,6 @@ func (r *Run) fail(err error) {
 // Result returns the run's outcome; valid once Done.
 func (r *Run) Result() Result { return r.result }
 
-var runSeq int
-
 // Start launches a benchmark run inside the file system's simulation. The
 // returned Run completes asynchronously; onDone (optional) fires when the
 // last process finishes. Drive the simulation (fs.Sim().Run()) to make
@@ -230,8 +228,7 @@ func Start(fs *beegfs.FileSystem, clients []*beegfs.Client, params Params, src *
 		setup += params.SetupMean
 	}
 
-	runSeq++
-	pathBase := fmt.Sprintf("%s.run%d", params.path(), runSeq)
+	pathBase := fmt.Sprintf("%s.run%d", params.path(), fs.NextRunSeq())
 
 	pattern := fs.Meta().PatternFor(pathBase)
 	if params.StripeCount > 0 {

@@ -45,6 +45,8 @@ type Options struct {
 	PlateauTolerance float64
 	// FastProtocol shortens inter-block waits (tests).
 	FastProtocol bool
+	// Workers bounds the campaign worker pool (0 = one per CPU).
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -118,16 +120,13 @@ type Report struct {
 	BalanceGoverned bool
 }
 
-// Run executes the three stages on a fresh deployment of the platform.
+// Run executes the three stages; each campaign deploys its own fresh
+// instances of the platform (one per repetition worker).
 func Run(p cluster.Platform, opts Options) (Report, error) {
 	opts = opts.withDefaults()
 	rep := Report{Platform: p.Name}
 
 	// ---- Stage 1: data size (Figure 2). 4 nodes x PPN, default count.
-	dep, err := p.Deploy()
-	if err != nil {
-		return rep, err
-	}
 	stage1Nodes := 4
 	if stage1Nodes > opts.MaxNodes {
 		stage1Nodes = opts.MaxNodes
@@ -143,7 +142,7 @@ func Run(p cluster.Platform, opts Options) (Report, error) {
 			Params: params(stage1Nodes, opts.PPN, 0, g*beegfs.GiB),
 		})
 	}
-	recs, err := campaign(dep, opts, 1).Run(cfgs)
+	recs, err := campaign(p, opts, 1).Run(cfgs)
 	if err != nil {
 		return rep, err
 	}
@@ -158,10 +157,6 @@ func Run(p cluster.Platform, opts Options) (Report, error) {
 	rep.ChosenSizeGiB = chooseSize(sizes, rep.SizeSweep, opts.PlateauTolerance)
 
 	// ---- Stage 2: node sweep (Figure 4) at the chosen size.
-	dep, err = p.Deploy()
-	if err != nil {
-		return rep, err
-	}
 	var nodes []int
 	for n := 1; n <= opts.MaxNodes; n *= 2 {
 		nodes = append(nodes, n)
@@ -173,7 +168,7 @@ func Run(p cluster.Platform, opts Options) (Report, error) {
 			Params: params(n, opts.PPN, 0, rep.ChosenSizeGiB*beegfs.GiB),
 		})
 	}
-	recs, err = campaign(dep, opts, 2).Run(cfgs)
+	recs, err = campaign(p, opts, 2).Run(cfgs)
 	if err != nil {
 		return rep, err
 	}
@@ -190,15 +185,11 @@ func Run(p cluster.Platform, opts Options) (Report, error) {
 	// ---- Stage 3: stripe-count sweep (Figures 6/8/10), at twice the
 	// plateau so higher counts are not client-limited (lesson 6; the
 	// paper's own choice of 8 and 32 nodes).
-	dep, err = p.Deploy()
-	if err != nil {
-		return rep, err
-	}
 	rep.Stage3Nodes = 2 * rep.PlateauNodes
 	if rep.Stage3Nodes > opts.MaxNodes {
 		rep.Stage3Nodes = opts.MaxNodes
 	}
-	total := len(dep.FS.Storage().Targets())
+	total := p.FS.Hosts * p.FS.TargetsPerHost
 	cfgs = cfgs[:0]
 	for k := 1; k <= total; k++ {
 		cfgs = append(cfgs, experiments.Config{
@@ -206,7 +197,7 @@ func Run(p cluster.Platform, opts Options) (Report, error) {
 			Params: params(rep.Stage3Nodes, opts.PPN, k, rep.ChosenSizeGiB*beegfs.GiB),
 		})
 	}
-	recs, err = campaign(dep, opts, 3).Run(cfgs)
+	recs, err = campaign(p, opts, 3).Run(cfgs)
 	if err != nil {
 		return rep, err
 	}
@@ -292,7 +283,7 @@ func params(nodes, ppn, count int, total int64) ior.Params {
 	}.WithTotalSize(total)
 }
 
-func campaign(dep *cluster.Deployment, opts Options, stage uint64) experiments.Campaign {
+func campaign(p cluster.Platform, opts Options, stage uint64) experiments.Campaign {
 	// Round repetitions up to whole blocks. Beyond protocol fidelity this
 	// preserves a subtle invariant of the rotating round-robin chooser:
 	// a block of 10 same-count creations advances the cursor by 10k — an
@@ -309,7 +300,7 @@ func campaign(dep *cluster.Deployment, opts Options, stage uint64) experiments.C
 	if opts.FastProtocol {
 		proto.MinWait, proto.MaxWait = 0.5, 2
 	}
-	return experiments.Campaign{Dep: dep, Proto: proto}
+	return experiments.Campaign{Platform: p, Proto: proto, Workers: opts.Workers}
 }
 
 func point(x float64, samples []float64) (SweepPoint, error) {

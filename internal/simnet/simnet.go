@@ -32,6 +32,16 @@ type Resource struct {
 	Name     string
 	capacity float64 // MiB/s
 
+	// idx is the 1-based registration order within a Network; 0 for
+	// resources constructed outside a Network (FairShare-only use). It
+	// gives the solver a stable, allocation-free resource ordering.
+	idx int
+
+	// nActive counts in-flight flows whose usage vector touches this
+	// resource; the Network keeps a resource in its solver registry
+	// exactly while nActive > 0.
+	nActive int
+
 	// scratch used by the solver
 	load float64
 	sumW float64
@@ -39,6 +49,13 @@ type Resource struct {
 
 // Capacity returns the resource's current capacity in MiB/s.
 func (r *Resource) Capacity() float64 { return r.capacity }
+
+// use is one dense entry of a flow's usage vector: a resource and the
+// fraction of the flow's rate consumed on it.
+type use struct {
+	res *Resource
+	w   float64
+}
 
 // Flow is a data stream with a fixed volume routed over a set of resources.
 type Flow struct {
@@ -51,7 +68,9 @@ type Flow struct {
 
 	// Usage maps each resource the flow touches to the fraction of the
 	// flow's rate consumed on it (usually 1 for its own NIC, m_i/k for a
-	// storage host's share of a striped write).
+	// storage host's share of a striped write). It is the construction
+	// API; Start compiles it into a dense slice the solver iterates
+	// without map lookups.
 	Usage map[*Resource]float64
 
 	// OnComplete, if non-nil, fires when the last byte is transferred.
@@ -63,10 +82,16 @@ type Flow struct {
 	// Exactly one of OnComplete/OnAbort fires per started flow.
 	OnAbort func(at simkernel.Time)
 
+	// uses is the dense, (idx, name)-sorted compilation of Usage, built
+	// once per Start so the solver's hot loops touch no maps.
+	uses []use
+
 	remaining float64
 	rate      float64
 	started   simkernel.Time
 	done      bool
+	inNet     bool
+	seq       uint64 // start order; tie-break for equal names
 	event     *simkernel.Event
 
 	frozen bool // solver scratch
@@ -84,13 +109,61 @@ func (f *Flow) Done() bool { return f.done }
 // Started returns the virtual time the flow was started.
 func (f *Flow) Started() simkernel.Time { return f.started }
 
+// usesRes reports whether the flow's compiled usage vector touches r.
+func (f *Flow) usesRes(r *Resource) bool {
+	for i := range f.uses {
+		if f.uses[i].res == r {
+			return true
+		}
+	}
+	return false
+}
+
+// buildUses compiles f.Usage into the dense uses slice, validating weights.
+// The slice is ordered by (registration idx, name) so solver iteration
+// order never depends on map iteration.
+func (f *Flow) buildUses() {
+	f.uses = f.uses[:0]
+	for r, w := range f.Usage {
+		if w <= 0 {
+			panic(fmt.Sprintf("simnet: non-positive usage weight %v on %s", w, r.Name))
+		}
+		f.uses = append(f.uses, use{res: r, w: w})
+	}
+	sort.Slice(f.uses, func(i, j int) bool {
+		a, b := f.uses[i].res, f.uses[j].res
+		if a.idx != b.idx {
+			return a.idx < b.idx
+		}
+		return a.Name < b.Name
+	})
+}
+
 // Network couples a set of resources and active flows to a simulation
 // clock. All mutation methods must be called from within the simulation's
 // event loop (or before it starts).
+//
+// The in-flight state is kept in persistent, incrementally maintained
+// sorted slices (active flows by name, touched resources by registration
+// order), so steady-state rebalancing performs no heap allocations: no map
+// collection, no per-call sorting, and completion events are rescheduled
+// in place rather than reallocated.
 type Network struct {
-	sim        *simkernel.Simulation
-	resources  []*Resource
-	flows      map[*Flow]struct{}
+	sim       *simkernel.Simulation
+	resources []*Resource
+
+	// active holds the in-flight flows sorted by (Name, seq): the solver
+	// input order, maintained incrementally by Start/Abort/complete.
+	active []*Flow
+
+	// touched holds the resources used by at least one in-flight flow,
+	// sorted by registration idx; this is the solver's resource registry.
+	touched []*Resource
+
+	// oldRates is observer scratch reused across rebalances.
+	oldRates []float64
+
+	nextSeq    uint64
 	lastSettle simkernel.Time
 	observer   func(at simkernel.Time, f *Flow, rate float64)
 }
@@ -106,7 +179,7 @@ func (n *Network) Observe(fn func(at simkernel.Time, f *Flow, rate float64)) {
 
 // New creates an empty network bound to the simulation clock.
 func New(sim *simkernel.Simulation) *Network {
-	return &Network{sim: sim, flows: make(map[*Flow]struct{})}
+	return &Network{sim: sim}
 }
 
 // AddResource registers a resource with the given capacity (MiB/s).
@@ -114,7 +187,7 @@ func (n *Network) AddResource(name string, capacity float64) *Resource {
 	if capacity < 0 {
 		panic(fmt.Sprintf("simnet: negative capacity %v for %s", capacity, name))
 	}
-	r := &Resource{Name: name, capacity: capacity}
+	r := &Resource{Name: name, capacity: capacity, idx: len(n.resources) + 1}
 	n.resources = append(n.resources, r)
 	return r
 }
@@ -136,7 +209,61 @@ func (n *Network) SetCapacity(r *Resource, capacity float64) {
 }
 
 // ActiveFlows returns the number of in-flight flows.
-func (n *Network) ActiveFlows() int { return len(n.flows) }
+func (n *Network) ActiveFlows() int { return len(n.active) }
+
+// insertActive places f into the name-sorted active slice. Flows with equal
+// names stay in start order (seq), matching the FIFO intuition.
+func (n *Network) insertActive(f *Flow) {
+	i := sort.Search(len(n.active), func(i int) bool { return n.active[i].Name > f.Name })
+	n.active = append(n.active, nil)
+	copy(n.active[i+1:], n.active[i:])
+	n.active[i] = f
+}
+
+// removeActive deletes f from the active slice by identity.
+func (n *Network) removeActive(f *Flow) {
+	i := sort.Search(len(n.active), func(i int) bool { return n.active[i].Name >= f.Name })
+	for ; i < len(n.active); i++ {
+		if n.active[i] == f {
+			copy(n.active[i:], n.active[i+1:])
+			n.active[len(n.active)-1] = nil
+			n.active = n.active[:len(n.active)-1]
+			return
+		}
+	}
+}
+
+// retain bumps the refcount of every resource f touches, registering newly
+// touched resources in idx order.
+func (n *Network) retain(f *Flow) {
+	for i := range f.uses {
+		r := f.uses[i].res
+		if r.nActive == 0 {
+			j := sort.Search(len(n.touched), func(j int) bool { return n.touched[j].idx > r.idx })
+			n.touched = append(n.touched, nil)
+			copy(n.touched[j+1:], n.touched[j:])
+			n.touched[j] = r
+		}
+		r.nActive++
+	}
+}
+
+// release drops the refcounts taken by retain, deregistering resources no
+// in-flight flow touches any more.
+func (n *Network) release(f *Flow) {
+	for i := range f.uses {
+		r := f.uses[i].res
+		r.nActive--
+		if r.nActive == 0 {
+			j := sort.Search(len(n.touched), func(j int) bool { return n.touched[j].idx >= r.idx })
+			if j < len(n.touched) && n.touched[j] == r {
+				copy(n.touched[j:], n.touched[j+1:])
+				n.touched[len(n.touched)-1] = nil
+				n.touched = n.touched[:len(n.touched)-1]
+			}
+		}
+	}
+}
 
 // Start begins transferring a flow. The flow's Volume, Usage and optional
 // Cap/OnComplete must be set; Start panics on a zero-usage flow with
@@ -148,16 +275,19 @@ func (n *Network) Start(f *Flow) {
 	if len(f.Usage) == 0 && f.Cap <= 0 && f.Volume > 0 {
 		panic("simnet: flow with no resource usage and no cap cannot be paced")
 	}
-	for r, w := range f.Usage {
-		if w <= 0 {
-			panic(fmt.Sprintf("simnet: non-positive usage weight %v on %s", w, r.Name))
-		}
+	if f.inNet {
+		panic(fmt.Sprintf("simnet: flow %s started while already in flight", f.Name))
 	}
+	f.buildUses()
 	f.remaining = f.Volume
 	f.started = n.sim.Now()
 	f.done = false
+	f.seq = n.nextSeq
+	n.nextSeq++
 	n.settle()
-	n.flows[f] = struct{}{}
+	n.insertActive(f)
+	n.retain(f)
+	f.inNet = true
 	n.rebalance()
 }
 
@@ -165,11 +295,13 @@ func (n *Network) Start(f *Flow) {
 // flow's OnAbort hook (if any) fires after the remaining flows have been
 // re-balanced, with the flow's unsent volume settled to the abort instant.
 func (n *Network) Abort(f *Flow) {
-	if _, ok := n.flows[f]; !ok {
+	if !f.inNet {
 		return
 	}
 	n.settle()
-	delete(n.flows, f)
+	n.removeActive(f)
+	n.release(f)
+	f.inNet = false
 	if f.event != nil {
 		n.sim.Cancel(f.event)
 		f.event = nil
@@ -186,16 +318,38 @@ func (n *Network) Abort(f *Flow) {
 
 // FlowsUsing returns the in-flight flows whose usage vector touches r, in
 // deterministic (name-sorted) order. Fault injection uses it to abort
-// everything riding a failed resource.
+// everything riding a failed resource. Allocates a fresh slice; hot paths
+// should use AppendFlowsUsing with a reusable buffer instead.
 func (n *Network) FlowsUsing(r *Resource) []*Flow {
-	var out []*Flow
-	for f := range n.flows {
-		if _, ok := f.Usage[r]; ok {
-			out = append(out, f)
+	return n.AppendFlowsUsing(nil, r)
+}
+
+// AppendFlowsUsing appends the in-flight flows touching r to dst (which may
+// be nil or a recycled buffer) and returns the extended slice. Output is in
+// deterministic name-sorted order because the active list is kept sorted.
+func (n *Network) AppendFlowsUsing(dst []*Flow, r *Resource) []*Flow {
+	for _, f := range n.active {
+		if f.usesRes(r) {
+			dst = append(dst, f)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	return out
+	return dst
+}
+
+// AppendFlowsUsingAny appends the in-flight flows touching any resource in
+// rs to dst, each flow at most once, in deterministic name-sorted order.
+// The fault injector uses it to collect every flow riding a failed host's
+// resources in one pass without a dedup map.
+func (n *Network) AppendFlowsUsingAny(dst []*Flow, rs ...*Resource) []*Flow {
+	for _, f := range n.active {
+		for _, r := range rs {
+			if f.usesRes(r) {
+				dst = append(dst, f)
+				break
+			}
+		}
+	}
+	return dst
 }
 
 // settle integrates transferred volume for all flows since the last rate
@@ -204,7 +358,7 @@ func (n *Network) settle() {
 	now := n.sim.Now()
 	dt := float64(now - n.lastSettle)
 	if dt > 0 {
-		for f := range n.flows {
+		for _, f := range n.active {
 			f.remaining -= f.rate * dt
 			if f.remaining < 0 {
 				// Completion events fire exactly at the predicted time, so
@@ -217,28 +371,26 @@ func (n *Network) settle() {
 }
 
 // rebalance recomputes fair-share rates and reschedules completion events.
+// In steady state (buffers warmed up, every flow already carrying its
+// completion event) this performs zero heap allocations.
 func (n *Network) rebalance() {
-	if len(n.flows) == 0 {
+	if len(n.active) == 0 {
 		return
 	}
-	flows := make([]*Flow, 0, len(n.flows))
-	for f := range n.flows {
-		flows = append(flows, f)
-	}
-	// Deterministic solver input order regardless of map iteration.
-	sort.Slice(flows, func(i, j int) bool { return flows[i].Name < flows[j].Name })
-	var oldRates []float64
 	if n.observer != nil {
-		oldRates = make([]float64, len(flows))
-		for i, f := range flows {
-			oldRates[i] = f.rate
+		if cap(n.oldRates) < len(n.active) {
+			n.oldRates = make([]float64, len(n.active))
+		}
+		n.oldRates = n.oldRates[:len(n.active)]
+		for i, f := range n.active {
+			n.oldRates[i] = f.rate
 		}
 	}
-	solve(flows)
+	solve(n.active, n.touched)
 	now := n.sim.Now()
-	for i, f := range flows {
+	for i, f := range n.active {
 		n.scheduleCompletion(f, now)
-		if n.observer != nil && f.rate != oldRates[i] {
+		if n.observer != nil && f.rate != n.oldRates[i] {
 			n.observer(now, f, f.rate)
 		}
 	}
@@ -254,22 +406,32 @@ func (n *Network) scheduleCompletion(f *Flow, now simkernel.Time) {
 	default:
 		at = now + simkernel.Time(f.remaining/f.rate)
 	}
-	if f.event != nil {
-		n.sim.Cancel(f.event)
-		f.event = nil
-	}
 	if at == simkernel.Never {
+		if f.event != nil {
+			n.sim.Cancel(f.event)
+		}
 		return
 	}
-	f.event = n.sim.At(at, func() { n.complete(f) })
+	if f.event == nil {
+		// First schedule for this flow: allocate the event and its
+		// callback once; later rate changes move it in place.
+		f.event = n.sim.At(at, func() { n.complete(f) })
+		return
+	}
+	if f.event.Scheduled() && f.event.When() == at {
+		return
+	}
+	n.sim.Reschedule(f.event, at)
 }
 
 func (n *Network) complete(f *Flow) {
-	if _, ok := n.flows[f]; !ok {
+	if !f.inNet {
 		return
 	}
 	n.settle()
-	delete(n.flows, f)
+	n.removeActive(f)
+	n.release(f)
+	f.inNet = false
 	f.event = nil
 	f.done = true
 	f.remaining = 0
@@ -283,42 +445,38 @@ func (n *Network) complete(f *Flow) {
 	}
 }
 
-// solve assigns weighted max-min fair rates to the flows in place.
+// solve assigns weighted max-min fair rates to the flows in place. The
+// resources slice must contain every resource touched by the flows with
+// zeroed registration-order duplicates removed; the Network passes its
+// incrementally maintained registry, FairShare builds one ad hoc.
 // Exposed via FairShare for direct testing.
-func solve(flows []*Flow) {
+func solve(flows []*Flow, resources []*Resource) {
 	for _, f := range flows {
 		f.frozen = false
 		f.rate = 0
 	}
-	// Collect the resources in play.
-	resSet := make(map[*Resource]struct{})
-	for _, f := range flows {
-		for r := range f.Usage {
-			resSet[r] = struct{}{}
-		}
-	}
-	resources := make([]*Resource, 0, len(resSet))
-	for r := range resSet {
+	for _, r := range resources {
 		r.load = 0
-		resources = append(resources, r)
 	}
-	sort.Slice(resources, func(i, j int) bool { return resources[i].Name < resources[j].Name })
-
 	active := len(flows)
 	fill := 0.0
 	for iter := 0; active > 0 && iter <= len(flows)+len(resources)+1; iter++ {
+		// Per-resource demand of the unfrozen flows.
+		for _, r := range resources {
+			r.sumW = 0
+		}
+		for _, f := range flows {
+			if f.frozen {
+				continue
+			}
+			for i := range f.uses {
+				f.uses[i].res.sumW += f.uses[i].w
+			}
+		}
 		// Maximum additional fill before some resource saturates.
 		delta := math.Inf(1)
 		var bottleneck *Resource
 		for _, r := range resources {
-			r.sumW = 0
-			for _, f := range flows {
-				if !f.frozen {
-					if w, ok := f.Usage[r]; ok {
-						r.sumW += w
-					}
-				}
-			}
 			if r.sumW == 0 {
 				continue
 			}
@@ -364,12 +522,10 @@ func solve(flows []*Flow) {
 		}
 		if delta <= capDelta && bottleneck != nil {
 			for _, f := range flows {
-				if !f.frozen {
-					if _, ok := f.Usage[bottleneck]; ok {
-						f.frozen = true
-						f.rate = fill
-						active--
-					}
+				if !f.frozen && f.usesRes(bottleneck) {
+					f.frozen = true
+					f.rate = fill
+					active--
 				}
 			}
 		}
@@ -384,9 +540,28 @@ func solve(flows []*Flow) {
 // FairShare computes weighted max-min fair rates for a standalone set of
 // flows (no clock involved) and returns the rate per flow in input order.
 // It does not modify remaining volumes. Intended for tests and for the
-// analytic model's cross-validation.
+// analytic model's cross-validation; unlike the Network's internal path it
+// allocates (it must discover the resource set from the usage maps).
 func FairShare(flows []*Flow) []float64 {
-	solve(flows)
+	seen := make(map[*Resource]struct{})
+	var resources []*Resource
+	for _, f := range flows {
+		f.buildUses()
+		for i := range f.uses {
+			r := f.uses[i].res
+			if _, ok := seen[r]; !ok {
+				seen[r] = struct{}{}
+				resources = append(resources, r)
+			}
+		}
+	}
+	sort.Slice(resources, func(i, j int) bool {
+		if resources[i].idx != resources[j].idx {
+			return resources[i].idx < resources[j].idx
+		}
+		return resources[i].Name < resources[j].Name
+	})
+	solve(flows, resources)
 	rates := make([]float64, len(flows))
 	for i, f := range flows {
 		rates[i] = f.rate

@@ -1,0 +1,73 @@
+package simnet
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/simkernel"
+)
+
+// steadyNet builds a network with nFlows long-running flows spread over 12
+// resources (the root BenchmarkAblationSolver topology) and warms the
+// solver once, so subsequent rebalances measure the steady state.
+func steadyNet(nFlows int) (*Network, []*Resource) {
+	src := rng.New(1)
+	net := New(simkernel.New())
+	resources := make([]*Resource, 12)
+	for i := range resources {
+		resources[i] = net.AddResource(fmt.Sprintf("r%d", i), 100+src.Float64()*1000)
+	}
+	for i := 0; i < nFlows; i++ {
+		usage := make(map[*Resource]float64)
+		for _, j := range src.Perm(len(resources))[:3] {
+			usage[resources[j]] = 0.25 + src.Float64()*0.75
+		}
+		net.Start(&Flow{Name: fmt.Sprintf("f%d", i), Volume: 1e15, Usage: usage})
+	}
+	// Two capacity swings grow every scratch buffer to its final size and
+	// exercise both reschedule directions.
+	net.SetCapacity(resources[0], 500)
+	net.SetCapacity(resources[0], 700)
+	return net, resources
+}
+
+// The solver's steady state — re-solving rates and rescheduling completions
+// after a capacity change — must not allocate: campaigns spend almost all
+// of their time here.
+func TestSolveSteadyStateZeroAllocs(t *testing.T) {
+	for _, nFlows := range []int{8, 64, 256} {
+		net, resources := steadyNet(nFlows)
+		r := resources[0]
+		i := 0
+		allocs := testing.AllocsPerRun(100, func() {
+			i++
+			if i&1 == 0 {
+				net.SetCapacity(r, 500)
+			} else {
+				net.SetCapacity(r, 700)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%d flows: %.1f allocs per steady-state rebalance, want 0", nFlows, allocs)
+		}
+	}
+}
+
+func benchmarkSolve(b *testing.B, nFlows int) {
+	net, resources := steadyNet(nFlows)
+	r := resources[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i&1 == 0 {
+			net.SetCapacity(r, 500)
+		} else {
+			net.SetCapacity(r, 700)
+		}
+	}
+}
+
+func BenchmarkSolve8Flows(b *testing.B)   { benchmarkSolve(b, 8) }
+func BenchmarkSolve64Flows(b *testing.B)  { benchmarkSolve(b, 64) }
+func BenchmarkSolve256Flows(b *testing.B) { benchmarkSolve(b, 256) }
