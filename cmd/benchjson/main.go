@@ -1,12 +1,20 @@
 // Command benchjson converts `go test -bench` output read from stdin into
 // a stable JSON document, so benchmark runs can be archived and diffed
-// across commits (BENCH_PR2.json) and smoke-checked in CI:
+// across commits (BENCH_PR2.json, BENCH_PR3.json) and smoke-checked in CI:
 //
 //	go test -bench=. -benchmem -benchtime=1x ./... | benchjson -o BENCH.json
 //
 // Each benchmark line becomes one entry recording the iteration count and
 // every reported metric (ns/op, B/op, allocs/op and custom ones like
 // MiB/s@32GiB) keyed by its unit.
+//
+// With -compare the command instead diffs two archived documents and acts
+// as a regression gate:
+//
+//	benchjson -compare old.json -threshold 25 -match '^BenchmarkSolve' new.json
+//
+// exits non-zero when any benchmark present in both files and matching the
+// -match pattern got slower (ns/op) by more than the threshold percentage.
 package main
 
 import (
@@ -16,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -36,10 +45,29 @@ type Doc struct {
 
 func main() {
 	var (
-		out  = flag.String("o", "", "output file (default stdout)")
-		note = flag.String("note", "", "free-form note stored in the context block")
+		out       = flag.String("o", "", "output file (default stdout)")
+		note      = flag.String("note", "", "free-form note stored in the context block")
+		compare   = flag.String("compare", "", "baseline JSON file; the new JSON file follows as a positional argument")
+		threshold = flag.Float64("threshold", 25, "with -compare: fail on ns/op regressions above this percentage")
+		match     = flag.String("match", "", "with -compare: only gate benchmarks whose name matches this regexp")
 	)
 	flag.Parse()
+	if *compare != "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly one positional argument (the new JSON file)")
+			os.Exit(2)
+		}
+		report, failed, err := compareFiles(*compare, flag.Arg(0), *threshold, *match)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		os.Stdout.WriteString(report)
+		if failed {
+			os.Exit(1)
+		}
+		return
+	}
 	doc, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -127,6 +155,95 @@ func parse(r io.Reader) (Doc, error) {
 		doc.Context = nil
 	}
 	return doc, nil
+}
+
+// compareFiles loads two benchjson documents and renders a regression
+// report over the benchmarks present in both (optionally narrowed by the
+// pattern). It returns failed=true when any common benchmark's ns/op grew
+// by more than thresholdPct percent. Benchmarks present in only one file
+// are listed but never gate: a baseline may cover more than a smoke run.
+func compareFiles(oldPath, newPath string, thresholdPct float64, pattern string) (report string, failed bool, err error) {
+	oldDoc, err := loadDoc(oldPath)
+	if err != nil {
+		return "", false, err
+	}
+	newDoc, err := loadDoc(newPath)
+	if err != nil {
+		return "", false, err
+	}
+	var re *regexp.Regexp
+	if pattern != "" {
+		if re, err = regexp.Compile(pattern); err != nil {
+			return "", false, fmt.Errorf("bad -match pattern: %v", err)
+		}
+	}
+	return diffDocs(oldDoc, newDoc, thresholdPct, re)
+}
+
+func loadDoc(path string) (Doc, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Doc{}, err
+	}
+	var doc Doc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return Doc{}, fmt.Errorf("%s: %v", path, err)
+	}
+	return doc, nil
+}
+
+// diffDocs is the pure comparison core, split out for testing.
+func diffDocs(oldDoc, newDoc Doc, thresholdPct float64, match *regexp.Regexp) (string, bool, error) {
+	oldBy := map[string]Entry{}
+	for _, e := range oldDoc.Benchmarks {
+		oldBy[e.Name] = e
+	}
+	var b strings.Builder
+	failed := false
+	compared := 0
+	for _, e := range newDoc.Benchmarks {
+		if match != nil && !match.MatchString(e.Name) {
+			continue
+		}
+		old, ok := oldBy[e.Name]
+		delete(oldBy, e.Name)
+		if !ok {
+			fmt.Fprintf(&b, "  new   %-44s %12.1f ns/op (no baseline)\n", e.Name, e.Metrics["ns/op"])
+			continue
+		}
+		oldNs, newNs := old.Metrics["ns/op"], e.Metrics["ns/op"]
+		if oldNs <= 0 {
+			continue
+		}
+		compared++
+		pct := (newNs - oldNs) / oldNs * 100
+		verdict := "ok    "
+		if pct > thresholdPct {
+			verdict = "FAIL  "
+			failed = true
+		}
+		fmt.Fprintf(&b, "  %s%-44s %12.1f -> %12.1f ns/op  %+7.1f%%\n", verdict, e.Name, oldNs, newNs, pct)
+	}
+	if match != nil {
+		for name := range oldBy {
+			if !match.MatchString(name) {
+				delete(oldBy, name)
+			}
+		}
+	}
+	gone := make([]string, 0, len(oldBy))
+	for name := range oldBy {
+		gone = append(gone, name)
+	}
+	sort.Strings(gone)
+	for _, name := range gone {
+		fmt.Fprintf(&b, "  gone  %-44s (in baseline only)\n", name)
+	}
+	if compared == 0 {
+		return "", false, fmt.Errorf("no common benchmarks to compare")
+	}
+	head := fmt.Sprintf("benchjson: compared %d benchmarks, threshold %+.0f%% ns/op\n", compared, thresholdPct)
+	return head + b.String(), failed, nil
 }
 
 // cpuSuffix returns the trailing "-N" GOMAXPROCS marker of a benchmark

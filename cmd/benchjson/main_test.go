@@ -1,6 +1,7 @@
 package main
 
 import (
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -44,5 +45,61 @@ func TestParse(t *testing.T) {
 func TestParseRejectsEmpty(t *testing.T) {
 	if _, err := parse(strings.NewReader("PASS\n")); err == nil {
 		t.Fatal("empty bench output accepted")
+	}
+}
+
+func bench(name string, ns float64) Entry {
+	return Entry{Name: name, Iterations: 100, Metrics: map[string]float64{"ns/op": ns}}
+}
+
+func TestDiffDocsGatesRegressions(t *testing.T) {
+	oldDoc := Doc{Benchmarks: []Entry{
+		bench("BenchmarkSolve8Flows", 100),
+		bench("BenchmarkSolve64Flows", 1000),
+		bench("BenchmarkFig6", 500),
+	}}
+	// Solve64 regresses 50%, Solve8 improves, Fig6 regresses but is
+	// filtered out by the match pattern.
+	newDoc := Doc{Benchmarks: []Entry{
+		bench("BenchmarkSolve8Flows", 80),
+		bench("BenchmarkSolve64Flows", 1500),
+		bench("BenchmarkFig6", 5000),
+	}}
+	re := regexp.MustCompile(`^BenchmarkSolve`)
+	report, failed, err := diffDocs(oldDoc, newDoc, 25, re)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Fatalf("50%% regression not gated:\n%s", report)
+	}
+	if !strings.Contains(report, "FAIL") || !strings.Contains(report, "BenchmarkSolve64Flows") {
+		t.Fatalf("report does not name the regression:\n%s", report)
+	}
+	if strings.Contains(report, "BenchmarkFig6") {
+		t.Fatalf("match pattern not applied:\n%s", report)
+	}
+	// Within threshold: passes.
+	if _, failed, _ := diffDocs(oldDoc, newDoc, 60, re); failed {
+		t.Fatal("60% threshold should tolerate a 50% regression")
+	}
+}
+
+func TestDiffDocsHandlesMissingEntries(t *testing.T) {
+	oldDoc := Doc{Benchmarks: []Entry{bench("BenchmarkSolve8Flows", 100), bench("BenchmarkOld", 1)}}
+	newDoc := Doc{Benchmarks: []Entry{bench("BenchmarkSolve8Flows", 90), bench("BenchmarkNew", 1)}}
+	report, failed, err := diffDocs(oldDoc, newDoc, 25, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatalf("improvement flagged as regression:\n%s", report)
+	}
+	if !strings.Contains(report, "BenchmarkNew") || !strings.Contains(report, "BenchmarkOld") {
+		t.Fatalf("asymmetric entries not reported:\n%s", report)
+	}
+	// No overlap at all is an error, not a silent pass.
+	if _, _, err := diffDocs(Doc{Benchmarks: []Entry{bench("A", 1)}}, Doc{Benchmarks: []Entry{bench("B", 1)}}, 25, nil); err == nil {
+		t.Fatal("disjoint documents compared without error")
 	}
 }

@@ -102,14 +102,33 @@ func Lesson4(byAlloc map[string][]float64, allocs map[string]Allocation) Verdict
 	if len(rows) < 3 {
 		return verdict(4, false, "not enough allocation classes (%d)", len(rows))
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].ratio < rows[j].ratio })
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].ratio != rows[j].ratio {
+			return rows[i].ratio < rows[j].ratio
+		}
+		return rows[i].mean < rows[j].mean
+	})
 	// Mean bandwidth must be nondecreasing in balance ratio (2% slack),
-	// independent of count.
+	// independent of count. Rows sharing a ratio are peers: each row is
+	// compared against the best mean of every strictly lower ratio, so the
+	// verdict does not depend on how ties happen to be ordered.
 	holds := true
-	for i := 1; i < len(rows); i++ {
-		if rows[i].ratio > rows[i-1].ratio && rows[i].mean < rows[i-1].mean*0.98 {
+	bestBelow := 0.0
+	for i := 0; i < len(rows); {
+		j := i
+		groupMax := rows[i].mean
+		for ; j < len(rows) && rows[j].ratio == rows[i].ratio; j++ {
+			if rows[j].mean > groupMax {
+				groupMax = rows[j].mean
+			}
+		}
+		if i > 0 && rows[i].mean < bestBelow*0.98 {
 			holds = false
 		}
+		if groupMax > bestBelow {
+			bestBelow = groupMax
+		}
+		i = j
 	}
 	v := verdict(4, holds, "bandwidth ordered by min/max ratio across %d allocation classes", len(rows))
 	v.Metrics["classes"] = float64(len(rows))
@@ -120,7 +139,15 @@ func Lesson4(byAlloc map[string][]float64, allocs map[string]Allocation) Verdict
 // count must show a bimodal bandwidth distribution whose mean sits in the
 // sparse valley between the modes. byCount maps stripe counts to samples.
 func Lesson5(byCount map[int][]float64) Verdict {
-	for count, samples := range byCount {
+	// Walk counts in sorted order so the reported class does not depend on
+	// map iteration: the verdict (and lessons.csv) must be reproducible.
+	counts := make([]int, 0, len(byCount))
+	for c := range byCount {
+		counts = append(counts, c)
+	}
+	sort.Ints(counts)
+	for _, count := range counts {
+		samples := byCount[count]
 		if !stats.Bimodal(samples) {
 			continue
 		}

@@ -226,8 +226,10 @@ func (inj *Injector) applyNIC(e Event) {
 // each at most once, in name-sorted order (deterministic replay). Resync
 // flows riding a failed resource are aborted like any other; their dirty
 // accounting survives and the next recovery restarts them. The collection
-// reuses the injector's buffer: one pass over the network's name-sorted
-// active list, no per-event allocation.
+// reuses the injector's buffer and scans only the components the failed
+// resources belong to — flows in unrelated components are never visited —
+// with no per-event allocation. Each Abort then re-solves just the
+// aborted flow's own component.
 func (inj *Injector) abortFlowsOn(resources ...*simnet.Resource) {
 	net := inj.fs.Network()
 	inj.doomed = net.AppendFlowsUsingAny(inj.doomed[:0], resources...)

@@ -131,6 +131,16 @@ func (s *Simulation) Cancel(e *Event) bool {
 // Reschedule moves a pending event to a new absolute time. If the event is
 // no longer pending it is re-queued (this is how flow completion events are
 // adjusted when fair-share rates change).
+//
+// Contract: rescheduling a *pending* event keeps its original scheduling
+// sequence, so its FIFO rank among equal-time events does not change — in
+// particular, rescheduling to its current time is exactly a no-op. The
+// component-scoped rebalancer depends on this: it skips the Reschedule
+// call entirely for flows whose completion instant is unchanged, and that
+// skip is only undetectable because calling Reschedule would not have
+// perturbed the tie-break order either. Re-queueing an already-fired
+// event, by contrast, assigns a fresh sequence: it is a new scheduling
+// decision and fires after existing equal-time events.
 func (s *Simulation) Reschedule(e *Event, t Time) {
 	if t < s.now {
 		panic(fmt.Sprintf("simkernel: rescheduling event to %v before now %v", t, s.now))

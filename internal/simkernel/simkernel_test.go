@@ -133,6 +133,53 @@ func TestReschedulePending(t *testing.T) {
 	}
 }
 
+// TestRescheduleKeepsFIFORank pins the contract the component-scoped
+// rebalancer relies on: rescheduling a pending event — even to a time
+// where other events already sit, even to its own current time — keeps
+// its original scheduling sequence, so equal-time tie-breaks are decided
+// by when the events were first scheduled, not by who was rescheduled
+// last. This is what makes "skip the Reschedule when the completion
+// instant is unchanged" indistinguishable from calling it.
+func TestRescheduleKeepsFIFORank(t *testing.T) {
+	s := New()
+	var order []string
+	a := s.At(10, func() { order = append(order, "a") })
+	b := s.At(10, func() { order = append(order, "b") })
+	s.At(10, func() { order = append(order, "c") })
+	// Move b away and back, and reschedule a to its current time: the
+	// original a, b, c scheduling order must survive both.
+	s.Reschedule(b, 20)
+	s.Reschedule(b, 10)
+	s.Reschedule(a, 10)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("order = %v, want [a b c]", order)
+	}
+}
+
+// TestRescheduleFiredEventGetsFreshRank is the contract's flip side: a
+// fired event that is re-queued is a new scheduling decision and fires
+// after events already waiting at the same time.
+func TestRescheduleFiredEventGetsFreshRank(t *testing.T) {
+	s := New()
+	var order []string
+	var e *Event
+	e = s.At(1, func() { order = append(order, "requeued") })
+	s.At(2, func() {
+		s.At(5, func() { order = append(order, "waiting") })
+		s.Reschedule(e, 5)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"requeued", "waiting", "requeued"}
+	if len(order) != 3 || order[0] != want[0] || order[1] != want[1] || order[2] != want[2] {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
 func TestRescheduleFiredEventRequeues(t *testing.T) {
 	s := New()
 	count := 0

@@ -38,9 +38,17 @@ type Resource struct {
 	idx int
 
 	// nActive counts in-flight flows whose usage vector touches this
-	// resource; the Network keeps a resource in its solver registry
-	// exactly while nActive > 0.
+	// resource; the resource belongs to a component exactly while
+	// nActive > 0.
 	nActive int
+
+	// comp is the connected component the resource currently belongs to,
+	// nil while no in-flight flow touches it.
+	comp *component
+
+	// uf is rebuild scratch: the resource's position within its
+	// component's resource list during a union-find pass.
+	uf int32
 
 	// scratch used by the solver
 	load float64
@@ -86,13 +94,22 @@ type Flow struct {
 	// once per Start so the solver's hot loops touch no maps.
 	uses []use
 
+	// remaining is the unsent volume as of settledAt; the live value is
+	// remaining - rate·(now - settledAt). Settlement is lazy: the network
+	// integrates a flow only when an event touches its component, so the
+	// cost of keeping volumes current scales with the component, not with
+	// the whole active set.
 	remaining float64
-	rate      float64
-	started   simkernel.Time
-	done      bool
-	inNet     bool
-	seq       uint64 // start order; tie-break for equal names
-	event     *simkernel.Event
+	settledAt simkernel.Time
+
+	rate    float64
+	started simkernel.Time
+	done    bool
+	inNet   bool
+	seq     uint64 // start order; tie-break for equal names
+	event   *simkernel.Event
+	comp    *component
+	net     *Network
 
 	frozen bool // solver scratch
 }
@@ -100,8 +117,22 @@ type Flow struct {
 // Rate returns the flow's current fair-share rate in MiB/s.
 func (f *Flow) Rate() float64 { return f.rate }
 
-// Remaining returns the volume not yet transferred, in MiB.
-func (f *Flow) Remaining() float64 { return f.remaining }
+// Remaining returns the volume not yet transferred, in MiB. Settlement is
+// lazy, so for an in-flight flow the stored volume is integrated up to the
+// current virtual time on access — without disturbing the stored state, so
+// observing a flow cannot perturb the simulation's arithmetic.
+func (f *Flow) Remaining() float64 {
+	if f.inNet && f.net != nil {
+		if dt := float64(f.net.sim.Now() - f.settledAt); dt > 0 && f.rate > 0 {
+			rem := f.remaining - f.rate*dt
+			if rem < 0 {
+				rem = 0
+			}
+			return rem
+		}
+	}
+	return f.remaining
+}
 
 // Done reports whether the flow has completed.
 func (f *Flow) Done() bool { return f.done }
@@ -144,29 +175,53 @@ func (f *Flow) buildUses() {
 // event loop (or before it starts).
 //
 // The in-flight state is kept in persistent, incrementally maintained
-// sorted slices (active flows by name, touched resources by registration
-// order), so steady-state rebalancing performs no heap allocations: no map
-// collection, no per-call sorting, and completion events are rescheduled
-// in place rather than reallocated.
+// sorted registries, partitioned into connected components of the
+// flow↔resource graph. An event (flow start, completion, abort, capacity
+// change) settles, re-solves and reschedules only the component it
+// touches; every other component's rates, unsent volumes and completion
+// events are left untouched. Steady-state rebalancing performs no heap
+// allocations: no map collection, no per-call sorting, and completion
+// events are rescheduled in place rather than reallocated.
 type Network struct {
 	sim       *simkernel.Simulation
 	resources []*Resource
 
-	// active holds the in-flight flows sorted by (Name, seq): the solver
-	// input order, maintained incrementally by Start/Abort/complete.
-	active []*Flow
+	// nActive counts in-flight flows; the flows themselves live only in
+	// their component's (Name, seq)-sorted registry, which backs both the
+	// solver and the public queries (FlowsUsing and friends).
+	nActive int
 
-	// touched holds the resources used by at least one in-flight flow,
-	// sorted by registration idx; this is the solver's resource registry.
-	touched []*Resource
+	// comps holds the live connected components in creation order.
+	comps []*component
+
+	// compPool recycles emptied component structs.
+	compPool []*component
 
 	// oldRates is observer scratch reused across rebalances.
 	oldRates []float64
 
-	nextSeq    uint64
-	lastSettle simkernel.Time
-	observer   func(at simkernel.Time, f *Flow, rate float64)
+	// Scratch buffers for component merge, rebuild and Start, reused
+	// across events so the steady state stays off the allocator.
+	mergeFlows []*Flow
+	mergeRes   []*Resource
+	ufParent   []int32
+	fragOf     []int32
+	frags      []*component
+	startComps []*component
+
+	// forceGlobal, when set before any flow starts, keeps every flow in
+	// one component so each event settles and re-solves the whole active
+	// set — the historical global-solve behavior. It exists for
+	// benchmarks and differential tests; campaigns never set it.
+	forceGlobal bool
+
+	nextSeq  uint64
+	observer func(at simkernel.Time, f *Flow, rate float64)
 }
+
+// Components returns the number of live connected components: the unit of
+// work for an incremental rebalance. Exposed for tests and diagnostics.
+func (n *Network) Components() int { return len(n.comps) }
 
 // Observe registers a callback invoked whenever a flow's fair-share rate
 // changes: at flow start, at every re-balance that moves its rate, and
@@ -192,10 +247,11 @@ func (n *Network) AddResource(name string, capacity float64) *Resource {
 	return r
 }
 
-// SetCapacity changes a resource's capacity and immediately re-balances all
-// flows. Used by the storage model when the number of active targets on a
-// host changes (concave controller capacity) and by the interference
-// injector.
+// SetCapacity changes a resource's capacity and immediately re-balances
+// the connected component of flows riding it; flows in other components
+// are not settled, re-solved or rescheduled. Used by the storage model
+// when the number of active targets on a host changes (concave controller
+// capacity) and by the interference injector.
 func (n *Network) SetCapacity(r *Resource, capacity float64) {
 	if capacity < 0 {
 		panic(fmt.Sprintf("simnet: negative capacity %v for %s", capacity, r.Name))
@@ -203,64 +259,51 @@ func (n *Network) SetCapacity(r *Resource, capacity float64) {
 	if r.capacity == capacity {
 		return
 	}
-	n.settle()
+	if r.comp == nil {
+		// No in-flight flow touches r, so no rate can change — but the
+		// historical solver settled and rescheduled every flow on every
+		// capacity change, and completion instants drift by ULPs with the
+		// settlement cadence. Reproduce that cadence so runs stay
+		// bit-identical to the global-solve implementation.
+		r.capacity = capacity
+		n.settleRescheduleAll()
+		return
+	}
+	// A stale component (one that may have split since the last flow
+	// removal) is deliberately NOT rebuilt here: solving the still-merged
+	// union is equally correct and deterministic, and membership is only
+	// re-derived when a Start actually needs it. See detach.
+	now := n.sim.Now()
+	n.settleComp(r.comp, now)
 	r.capacity = capacity
-	n.rebalance()
+	n.rebalanceComp(r.comp, now)
 }
 
 // ActiveFlows returns the number of in-flight flows.
-func (n *Network) ActiveFlows() int { return len(n.active) }
+func (n *Network) ActiveFlows() int { return n.nActive }
 
-// insertActive places f into the name-sorted active slice. Flows with equal
-// names stay in start order (seq), matching the FIFO intuition.
-func (n *Network) insertActive(f *Flow) {
-	i := sort.Search(len(n.active), func(i int) bool { return n.active[i].Name > f.Name })
-	n.active = append(n.active, nil)
-	copy(n.active[i+1:], n.active[i:])
-	n.active[i] = f
-}
-
-// removeActive deletes f from the active slice by identity.
-func (n *Network) removeActive(f *Flow) {
-	i := sort.Search(len(n.active), func(i int) bool { return n.active[i].Name >= f.Name })
-	for ; i < len(n.active); i++ {
-		if n.active[i] == f {
-			copy(n.active[i:], n.active[i+1:])
-			n.active[len(n.active)-1] = nil
-			n.active = n.active[:len(n.active)-1]
-			return
-		}
-	}
-}
-
-// retain bumps the refcount of every resource f touches, registering newly
-// touched resources in idx order.
-func (n *Network) retain(f *Flow) {
+// retain bumps the refcount of every resource f touches, registering
+// newly touched resources in c's idx-ordered resource list.
+func (n *Network) retain(f *Flow, c *component) {
 	for i := range f.uses {
 		r := f.uses[i].res
 		if r.nActive == 0 {
-			j := sort.Search(len(n.touched), func(j int) bool { return n.touched[j].idx > r.idx })
-			n.touched = append(n.touched, nil)
-			copy(n.touched[j+1:], n.touched[j:])
-			n.touched[j] = r
+			r.comp = c
+			c.insertResource(r)
 		}
 		r.nActive++
 	}
 }
 
-// release drops the refcounts taken by retain, deregistering resources no
-// in-flight flow touches any more.
+// release drops the refcounts taken by retain, removing resources no
+// in-flight flow touches any more from their component.
 func (n *Network) release(f *Flow) {
 	for i := range f.uses {
 		r := f.uses[i].res
 		r.nActive--
 		if r.nActive == 0 {
-			j := sort.Search(len(n.touched), func(j int) bool { return n.touched[j].idx >= r.idx })
-			if j < len(n.touched) && n.touched[j] == r {
-				copy(n.touched[j:], n.touched[j+1:])
-				n.touched[len(n.touched)-1] = nil
-				n.touched = n.touched[:len(n.touched)-1]
-			}
+			r.comp.removeResource(r)
+			r.comp = nil
 		}
 	}
 }
@@ -268,6 +311,10 @@ func (n *Network) release(f *Flow) {
 // Start begins transferring a flow. The flow's Volume, Usage and optional
 // Cap/OnComplete must be set; Start panics on a zero-usage flow with
 // positive volume, which would never finish.
+//
+// Start unions the components of every resource the flow touches into
+// one, settles and re-solves that merged component, and leaves all other
+// components alone.
 func (n *Network) Start(f *Flow) {
 	if f.Volume < 0 {
 		panic("simnet: negative flow volume")
@@ -279,41 +326,153 @@ func (n *Network) Start(f *Flow) {
 		panic(fmt.Sprintf("simnet: flow %s started while already in flight", f.Name))
 	}
 	f.buildUses()
+	now := n.sim.Now()
 	f.remaining = f.Volume
-	f.started = n.sim.Now()
+	f.started = now
+	f.settledAt = now
 	f.done = false
+	f.net = n
 	f.seq = n.nextSeq
 	n.nextSeq++
-	n.settle()
-	n.insertActive(f)
-	n.retain(f)
+	// Settle the components about to merge, rebuilding stale ones whose
+	// accumulated removals have earned an O(component) union-find pass;
+	// rebuild fragments that do not carry any of f's resources re-solve
+	// immediately and take no further part in the start.
+	n.collectStartComps(f)
+	for _, c := range n.startComps {
+		n.settleComp(c, now)
+	}
+	split := false
+	for _, c := range n.startComps {
+		if !c.stale || 2*c.removals < len(c.flows) {
+			continue
+		}
+		frags := n.rebuildComp(c)
+		if len(frags) == 1 {
+			continue
+		}
+		split = true
+		for i := range f.uses {
+			if rc := f.uses[i].res.comp; rc != nil {
+				rc.mark = true
+			}
+		}
+		for _, frag := range frags {
+			if frag.mark {
+				continue
+			}
+			n.rebalanceComp(frag, now)
+		}
+		for i := range f.uses {
+			if rc := f.uses[i].res.comp; rc != nil {
+				rc.mark = false
+			}
+		}
+	}
+	// If a rebuild split membership, re-collect the target components;
+	// then union them, preferring the largest as the merge destination
+	// (ties break to collection order, which is deterministic).
+	if split {
+		n.collectStartComps(f)
+	}
+	var target *component
+	if len(n.startComps) == 0 {
+		target = n.newComp()
+	} else {
+		target = n.startComps[0]
+		for _, c := range n.startComps {
+			if len(c.flows) > len(target.flows) {
+				target = c
+			}
+		}
+		for _, c := range n.startComps {
+			if c != target {
+				n.mergeComp(target, c)
+			}
+		}
+	}
+	target.insertFlow(f)
+	f.comp = target
+	n.nActive++
+	n.retain(f, target)
 	f.inNet = true
-	n.rebalance()
+	n.rebalanceComp(target, now)
+}
+
+// collectStartComps gathers the distinct live components of f's resources
+// into the startComps scratch slice — every component of the whole
+// network when forceGlobal is set.
+func (n *Network) collectStartComps(f *Flow) {
+	n.startComps = n.startComps[:0]
+	if n.forceGlobal {
+		n.startComps = append(n.startComps, n.comps...)
+		return
+	}
+	for i := range f.uses {
+		if c := f.uses[i].res.comp; c != nil && !c.mark {
+			c.mark = true
+			n.startComps = append(n.startComps, c)
+		}
+	}
+	for _, c := range n.startComps {
+		c.mark = false
+	}
 }
 
 // Abort removes a flow before completion without firing OnComplete. The
-// flow's OnAbort hook (if any) fires after the remaining flows have been
-// re-balanced, with the flow's unsent volume settled to the abort instant.
+// flow's OnAbort hook (if any) fires after the rest of its component has
+// been re-balanced, with the flow's unsent volume settled to the abort
+// instant. Other components are untouched.
 func (n *Network) Abort(f *Flow) {
 	if !f.inNet {
 		return
 	}
-	n.settle()
-	n.removeActive(f)
-	n.release(f)
-	f.inNet = false
+	now := n.sim.Now()
+	c := n.detach(f, now)
 	if f.event != nil {
 		n.sim.Cancel(f.event)
 		f.event = nil
 	}
 	f.rate = 0
 	if n.observer != nil {
-		n.observer(n.sim.Now(), f, 0)
+		n.observer(now, f, 0)
 	}
-	n.rebalance()
+	if len(c.flows) == 0 {
+		n.dropComp(c)
+	} else {
+		n.rebalanceComp(c, now)
+	}
 	if f.OnAbort != nil {
-		f.OnAbort(n.sim.Now())
+		f.OnAbort(now)
 	}
+}
+
+// detach settles f's component, then removes f from the component and the
+// active registry. It returns the component f was removed from, with f's
+// departure recorded as a possible split point.
+//
+// A component left stale by an earlier removal is not rebuilt here:
+// removal and re-solve are correct on the still-merged union, and the
+// union-find pass costs more than it saves on workloads whose graph never
+// actually splits (every campaign, via the shared client ramp). Membership
+// is re-derived only when a Start touching the component needs it.
+func (n *Network) detach(f *Flow, now simkernel.Time) *component {
+	c := f.comp
+	n.settleComp(c, now)
+	n.nActive--
+	c.removeFlow(f)
+	n.release(f)
+	c.removals++
+	if len(f.uses) > 1 && !n.forceGlobal {
+		// Removing a flow that bridged two or more resources may have
+		// disconnected the remainder; re-derive membership lazily once
+		// enough removals accumulate. Single-resource flows cannot split
+		// a component.
+		c.stale = true
+	}
+	f.inNet = false
+	f.comp = nil
+	return c
 }
 
 // FlowsUsing returns the in-flight flows whose usage vector touches r, in
@@ -326,9 +485,13 @@ func (n *Network) FlowsUsing(r *Resource) []*Flow {
 
 // AppendFlowsUsing appends the in-flight flows touching r to dst (which may
 // be nil or a recycled buffer) and returns the extended slice. Output is in
-// deterministic name-sorted order because the active list is kept sorted.
+// deterministic (Name, seq) order. Every flow touching r lives in r's
+// component, so the scan is component-scoped, not a walk of all flows.
 func (n *Network) AppendFlowsUsing(dst []*Flow, r *Resource) []*Flow {
-	for _, f := range n.active {
+	if r.comp == nil {
+		return dst
+	}
+	for _, f := range r.comp.flows {
 		if f.usesRes(r) {
 			dst = append(dst, f)
 		}
@@ -337,28 +500,54 @@ func (n *Network) AppendFlowsUsing(dst []*Flow, r *Resource) []*Flow {
 }
 
 // AppendFlowsUsingAny appends the in-flight flows touching any resource in
-// rs to dst, each flow at most once, in deterministic name-sorted order.
+// rs to dst, each flow at most once, in deterministic (Name, seq) order.
 // The fault injector uses it to collect every flow riding a failed host's
-// resources in one pass without a dedup map.
+// resources in one pass without a dedup map. Matches are gathered from the
+// distinct components of rs and then ordered across components, preserving
+// the order the historical whole-network scan produced.
 func (n *Network) AppendFlowsUsingAny(dst []*Flow, rs ...*Resource) []*Flow {
-	for _, f := range n.active {
-		for _, r := range rs {
-			if f.usesRes(r) {
-				dst = append(dst, f)
-				break
+	base := len(dst)
+	for _, r := range rs {
+		c := r.comp
+		if c == nil || c.mark {
+			continue
+		}
+		c.mark = true
+		for _, f := range c.flows {
+			for _, rr := range rs {
+				if f.usesRes(rr) {
+					dst = append(dst, f)
+					break
+				}
 			}
+		}
+	}
+	for _, r := range rs {
+		if r.comp != nil {
+			r.comp.mark = false
+		}
+	}
+	// Insertion sort the appended region into (Name, seq) order: each
+	// component contributed a sorted run, so passes are short, and the
+	// strict total order makes the result independent of component order.
+	for i := base + 1; i < len(dst); i++ {
+		for j := i; j > base && flowBefore(dst[j], dst[j-1]); j-- {
+			dst[j], dst[j-1] = dst[j-1], dst[j]
 		}
 	}
 	return dst
 }
 
-// settle integrates transferred volume for all flows since the last rate
-// change.
-func (n *Network) settle() {
-	now := n.sim.Now()
-	dt := float64(now - n.lastSettle)
-	if dt > 0 {
-		for _, f := range n.active {
+// settleComp integrates transferred volume for every flow of c since that
+// flow's last settlement. Settlement is lazy and per-flow: a flow is only
+// integrated when an event touches its component, so the cost scales with
+// the component, not the active set. Within one component all flows carry
+// the same settledAt, so the arithmetic matches the historical global
+// sweep step for step whenever the component spans the whole network.
+func (n *Network) settleComp(c *component, now simkernel.Time) {
+	for _, f := range c.flows {
+		dt := float64(now - f.settledAt)
+		if dt > 0 {
 			f.remaining -= f.rate * dt
 			if f.remaining < 0 {
 				// Completion events fire exactly at the predicted time, so
@@ -366,29 +555,50 @@ func (n *Network) settle() {
 				f.remaining = 0
 			}
 		}
+		f.settledAt = now
 	}
-	n.lastSettle = now
 }
 
-// rebalance recomputes fair-share rates and reschedules completion events.
-// In steady state (buffers warmed up, every flow already carrying its
-// completion event) this performs zero heap allocations.
-func (n *Network) rebalance() {
-	if len(n.active) == 0 {
+// settleRescheduleAll settles every component and re-derives each flow's
+// completion instant without re-solving: it reproduces, for events that
+// cannot move any rate (a capacity change on an idle resource), the exact
+// settlement cadence of the historical always-global rebalance, keeping
+// completion-time floating point bit-identical to that era.
+func (n *Network) settleRescheduleAll() {
+	if n.nActive == 0 {
+		return
+	}
+	now := n.sim.Now()
+	for _, c := range n.comps {
+		n.settleComp(c, now)
+	}
+	for _, c := range n.comps {
+		for _, f := range c.flows {
+			n.scheduleCompletion(f, now)
+		}
+	}
+}
+
+// rebalanceComp recomputes fair-share rates for one component and
+// reschedules its completion events; completion events of every other
+// component are not touched at all. In steady state (buffers warmed up,
+// every flow already carrying its completion event) this performs zero
+// heap allocations.
+func (n *Network) rebalanceComp(c *component, now simkernel.Time) {
+	if len(c.flows) == 0 {
 		return
 	}
 	if n.observer != nil {
-		if cap(n.oldRates) < len(n.active) {
-			n.oldRates = make([]float64, len(n.active))
+		if cap(n.oldRates) < len(c.flows) {
+			n.oldRates = make([]float64, len(c.flows))
 		}
-		n.oldRates = n.oldRates[:len(n.active)]
-		for i, f := range n.active {
+		n.oldRates = n.oldRates[:len(c.flows)]
+		for i, f := range c.flows {
 			n.oldRates[i] = f.rate
 		}
 	}
-	solve(n.active, n.touched)
-	now := n.sim.Now()
-	for i, f := range n.active {
+	solve(c.flows, c.resources)
+	for i, f := range c.flows {
 		n.scheduleCompletion(f, now)
 		if n.observer != nil && f.rate != n.oldRates[i] {
 			n.observer(now, f, f.rate)
@@ -428,28 +638,34 @@ func (n *Network) complete(f *Flow) {
 	if !f.inNet {
 		return
 	}
-	n.settle()
-	n.removeActive(f)
-	n.release(f)
-	f.inNet = false
+	now := n.sim.Now()
+	c := n.detach(f, now)
 	f.event = nil
 	f.done = true
 	f.remaining = 0
 	f.rate = 0
 	if n.observer != nil {
-		n.observer(n.sim.Now(), f, 0)
+		n.observer(now, f, 0)
 	}
-	n.rebalance()
+	if len(c.flows) == 0 {
+		n.dropComp(c)
+	} else {
+		n.rebalanceComp(c, now)
+	}
 	if f.OnComplete != nil {
-		f.OnComplete(n.sim.Now())
+		f.OnComplete(now)
 	}
 }
 
 // solve assigns weighted max-min fair rates to the flows in place. The
 // resources slice must contain every resource touched by the flows with
-// zeroed registration-order duplicates removed; the Network passes its
-// incrementally maintained registry, FairShare builds one ad hoc.
-// Exposed via FairShare for direct testing.
+// zeroed registration-order duplicates removed; the Network passes one
+// component's incrementally maintained registry, FairShare builds one ad
+// hoc. The waterfill reads only the flows and resources it is given, so
+// solving a component in isolation performs bit-for-bit the same
+// floating-point operations as solving it as part of a larger disjoint
+// union whose fill trajectory it leads. Exposed via FairShare for direct
+// testing.
 func solve(flows []*Flow, resources []*Resource) {
 	for _, f := range flows {
 		f.frozen = false
@@ -511,6 +727,7 @@ func solve(flows []*Flow, resources []*Resource) {
 			}
 		}
 		// Freeze flows that hit the binding constraint.
+		before := active
 		if capDelta <= delta {
 			for _, f := range flows {
 				if !f.frozen && f.Cap > 0 && f.Cap <= fill+1e-12 {
@@ -528,6 +745,15 @@ func solve(flows []*Flow, resources []*Resource) {
 					active--
 				}
 			}
+		}
+		if active == before && step == 0 {
+			// Early exit: the pass froze nothing and the fill level did
+			// not move, so no unfrozen flow's bottleneck changed — every
+			// further iteration would replay this exact state until the
+			// iteration cap. Leaving now assigns the unfrozen flows the
+			// same fill level the capped loop would have produced, so the
+			// result is bit-identical, just cheaper.
+			break
 		}
 	}
 	for _, f := range flows {

@@ -1,7 +1,9 @@
 package simnet
 
 import (
+	"fmt"
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -475,5 +477,122 @@ func TestFlowsUsingIsNameSorted(t *testing.T) {
 	}
 	if len(n.FlowsUsing(l2)) != 1 {
 		t.Fatal("FlowsUsing(l2) wrong")
+	}
+}
+
+// TestAbortRebalanceObserverOrder pins the exact observer callback and
+// completion/abort hook sequence around an Abort that races a completion:
+// fa and fb share a 100 MiB/s link; an abort event scheduled before either
+// flow started fires at t=2, the same instant fb's own completion is due
+// (fb's event carries a later FIFO rank, so the abort settles first and
+// drives fb.remaining to exactly 0 while fb's completion event is still
+// queued). The re-balance after the abort must still report fb's rate
+// change (50 -> 100) even though fb has nothing left to send, must not
+// move fb's already-correct completion event (same time, same FIFO rank),
+// and fb must complete at t=2 after fa's OnAbort ran inline. The
+// incremental component-scoped path has to reproduce this sequence
+// bit-for-bit; it is easy to silently reorder when completion reschedules
+// are skipped.
+func TestAbortRebalanceObserverOrder(t *testing.T) {
+	sim := simkernel.New()
+	n := New(sim)
+	l := n.AddResource("link", 100)
+	var log []string
+	n.Observe(func(at simkernel.Time, f *Flow, rate float64) {
+		log = append(log, fmt.Sprintf("obs t=%v %s rate=%v", at, f.Name, rate))
+	})
+	fa := &Flow{Name: "fa", Volume: 1000, Usage: map[*Resource]float64{l: 1}}
+	fa.OnAbort = func(at simkernel.Time) {
+		log = append(log, fmt.Sprintf("abort t=%v fa rem=%v", at, fa.Remaining()))
+	}
+	fb := &Flow{Name: "fb", Volume: 100, Usage: map[*Resource]float64{l: 1}}
+	fb.OnComplete = func(at simkernel.Time) {
+		log = append(log, fmt.Sprintf("done t=%v fb", at))
+	}
+	// Schedule the abort before the flows start so it outranks fb's
+	// completion event in the t=2 FIFO tie-break.
+	sim.At(2, func() { n.Abort(fa) })
+	n.Start(fa)
+	n.Start(fb)
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"obs t=0 fa rate=100",
+		"obs t=0 fa rate=50",
+		"obs t=0 fb rate=50",
+		"obs t=2 fa rate=0",
+		"obs t=2 fb rate=100",
+		"abort t=2 fa rem=900",
+		"obs t=2 fb rate=0",
+		"done t=2 fb",
+	}
+	if len(log) != len(want) {
+		t.Fatalf("callback sequence:\n%s\nwant:\n%s", strings.Join(log, "\n"), strings.Join(want, "\n"))
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("callback %d = %q, want %q (full sequence:\n%s)", i, log[i], want[i], strings.Join(log, "\n"))
+		}
+	}
+	if !fb.Done() {
+		t.Fatal("fb did not complete")
+	}
+	if got := sim.Now(); got != 2 {
+		t.Fatalf("simulation ended at %v, want 2", got)
+	}
+}
+
+// TestDisjointComponentObserverSilence pins the component-scoping
+// guarantee from the observer's point of view: events in one connected
+// component — starts, aborts, capacity changes — must not fire observer
+// callbacks for flows in another, because their rates provably cannot
+// change. Before component tracking, every rebalance walked all active
+// flows and stayed silent only by the rate-unchanged check; now the
+// disjoint flows are not even visited.
+func TestDisjointComponentObserverSilence(t *testing.T) {
+	sim := simkernel.New()
+	n := New(sim)
+	la := n.AddResource("link-a", 100)
+	lb := n.AddResource("link-b", 100)
+	var log []string
+	n.Observe(func(at simkernel.Time, f *Flow, rate float64) {
+		log = append(log, fmt.Sprintf("obs t=%v %s rate=%v", at, f.Name, rate))
+	})
+	b := &Flow{Name: "b", Volume: 1000, Usage: map[*Resource]float64{lb: 1}}
+	a1 := &Flow{Name: "a1", Volume: 400, Usage: map[*Resource]float64{la: 1}}
+	a2 := &Flow{Name: "a2", Volume: 400, Usage: map[*Resource]float64{la: 1}}
+	n.Start(b)
+	n.Start(a1)
+	n.Start(a2)
+	sim.At(1, func() { n.Abort(a1) })
+	sim.At(2, func() { n.SetCapacity(la, 50) })
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// b is mentioned exactly twice: its own start and its own completion.
+	// Every a-side event (the shared start at t=0, the abort at t=1, the
+	// capacity change at t=2, a2's completion) leaves b unobserved.
+	want := []string{
+		"obs t=0 b rate=100",
+		"obs t=0 a1 rate=100",
+		"obs t=0 a1 rate=50",
+		"obs t=0 a2 rate=50",
+		"obs t=1 a1 rate=0",
+		"obs t=1 a2 rate=100",
+		"obs t=2 a2 rate=50",
+		"obs t=7 a2 rate=0",
+		"obs t=10 b rate=0",
+	}
+	if len(log) != len(want) {
+		t.Fatalf("callback sequence:\n%s\nwant:\n%s", strings.Join(log, "\n"), strings.Join(want, "\n"))
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("callback %d = %q, want %q (full sequence:\n%s)", i, log[i], want[i], strings.Join(log, "\n"))
+		}
+	}
+	if !b.Done() || !a2.Done() {
+		t.Fatal("flows did not complete")
 	}
 }

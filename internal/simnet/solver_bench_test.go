@@ -71,3 +71,92 @@ func benchmarkSolve(b *testing.B, nFlows int) {
 func BenchmarkSolve8Flows(b *testing.B)   { benchmarkSolve(b, 8) }
 func BenchmarkSolve64Flows(b *testing.B)  { benchmarkSolve(b, 64) }
 func BenchmarkSolve256Flows(b *testing.B) { benchmarkSolve(b, 256) }
+
+// multiAppNet builds nApps disjoint "applications", each striping 8
+// long-running flows over its own 5 resources — the multi-application
+// interference shape of Figs. 10–13 with fully disjoint OST sets. With
+// global set the network is forced into the historical one-component
+// global-solve behavior, giving the incremental path its baseline.
+func multiAppNet(nApps int, global bool) (*Network, []*Resource) {
+	const resPerApp, flowsPerApp = 5, 8
+	src := rng.New(7)
+	net := New(simkernel.New())
+	net.forceGlobal = global
+	apps := make([][]*Resource, nApps)
+	for a := range apps {
+		rs := make([]*Resource, resPerApp)
+		for i := range rs {
+			rs[i] = net.AddResource(fmt.Sprintf("a%dr%d", a, i), 100+src.Float64()*1000)
+		}
+		apps[a] = rs
+	}
+	for a := range apps {
+		for i := 0; i < flowsPerApp; i++ {
+			usage := make(map[*Resource]float64)
+			for _, j := range src.Perm(resPerApp)[:3] {
+				usage[apps[a][j]] = 0.25 + src.Float64()*0.75
+			}
+			net.Start(&Flow{Name: fmt.Sprintf("a%df%d", a, i), Volume: 1e15, Usage: usage})
+		}
+	}
+	// Warm both reschedule directions so the benchmark loop is steady state.
+	net.SetCapacity(apps[0][0], 500)
+	net.SetCapacity(apps[0][0], 700)
+	return net, apps[0]
+}
+
+func benchmarkMultiComponent(b *testing.B, nApps int, global bool) {
+	net, app0 := multiAppNet(nApps, global)
+	r := app0[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i&1 == 0 {
+			net.SetCapacity(r, 500)
+		} else {
+			net.SetCapacity(r, 700)
+		}
+	}
+}
+
+// BenchmarkSolveMultiComponent measures a capacity-change rebalance in a
+// network of disjoint applications: the incremental engine settles and
+// re-solves only the touched application's component, so cost stays flat
+// as unrelated applications are added.
+func BenchmarkSolveMultiComponent(b *testing.B) {
+	for _, n := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("%dapps", n), func(b *testing.B) { benchmarkMultiComponent(b, n, false) })
+	}
+}
+
+// BenchmarkSolveMultiComponentGlobal is the same event on the same
+// topology with the network forced into the historical global solve:
+// every event settles, re-solves and reschedules all applications. The
+// MultiComponent/Global ratio is the incremental speedup.
+func BenchmarkSolveMultiComponentGlobal(b *testing.B) {
+	for _, n := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("%dapps", n), func(b *testing.B) { benchmarkMultiComponent(b, n, true) })
+	}
+}
+
+// BenchmarkRebalanceSingleEvent measures one full event-path round trip —
+// a probe flow joining a component (union, merge bookkeeping, scoped
+// solve) and aborting out of it (lazy split marking, scoped re-solve) —
+// inside an 8-application network where 7 applications must stay
+// untouched.
+func BenchmarkRebalanceSingleEvent(b *testing.B) {
+	net, app0 := multiAppNet(8, false)
+	probe := &Flow{
+		Name:   "probe",
+		Volume: 1e15,
+		Usage:  map[*Resource]float64{app0[0]: 1, app0[1]: 0.5},
+	}
+	net.Start(probe)
+	net.Abort(probe)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Start(probe)
+		net.Abort(probe)
+	}
+}

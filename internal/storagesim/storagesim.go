@@ -159,6 +159,11 @@ func (h *Host) SetFailed(failed bool) {
 // Failed reports whether the host is currently marked crashed.
 func (h *Host) Failed() bool { return h.failed }
 
+// updateCapacity pushes the controller's current capacity into the
+// network. SetCapacity re-solves only the component of in-flight flows
+// touching the controller — and is solver-free when no flow does, so
+// capacity redraws on idle hosts (jitter re-rolls between repetitions,
+// failures injected on spare mirror hosts) cost O(1).
 func (h *Host) updateCapacity() {
 	if h.failed {
 		h.sys.net.SetCapacity(h.controller, 0)
@@ -257,6 +262,9 @@ func (t *Target) peak() float64 {
 // WriteDepth returns the total registered request-queue depth.
 func (t *Target) WriteDepth() float64 { return t.writeDepth }
 
+// updateCapacity pushes the target's current capacity into the network;
+// like Host.updateCapacity it touches only the target's own component
+// and skips the solver entirely while the target is idle.
 func (t *Target) updateCapacity() {
 	if t.failed {
 		t.host.sys.net.SetCapacity(t.resource, 0)
