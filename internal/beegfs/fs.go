@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/rng"
 	"repro/internal/simkernel"
@@ -128,9 +129,8 @@ type FileSystem struct {
 	serverNIC map[*storagesim.Host]*simnet.Resource
 	// clientRamp is the shared client-stack resource (nil when ClientA
 	// is 0); its capacity follows ClientA * activeClients^ClientGamma.
-	clientRamp      *simnet.Resource
-	activeClientOps map[*Client]int
-	activeClients   int
+	clientRamp    *simnet.Resource
+	activeClients int
 	// mirrorCursor rotates buddy-group selection (CreateMirrored).
 	mirrorCursor int
 	// nicDown marks storage hosts whose network link is down (fault
@@ -139,6 +139,15 @@ type FileSystem struct {
 	nicDown map[*storagesim.Host]bool
 	// dirty indexes mirrored files with degraded writes awaiting resync.
 	dirty map[string]*File
+	// hostShare is issue's per-call scratch (host → fraction of the op's
+	// rate landing on that host), reused to keep the I/O hot path off the
+	// allocator.
+	hostShare map[*storagesim.Host]float64
+	// usageList is issue's reusable flow-usage list. simnet.Start
+	// compiles UsageList into the flow's dense vector synchronously and
+	// never reads it again, so one scratch slice serves every op; issue
+	// detaches it from the flow right after Start.
+	usageList []simnet.ResourceShare
 	// resynced accumulates the bytes re-copied by completed resync flows.
 	resynced int64
 	// runSeq numbers benchmark runs (ior path suffixes) per deployment,
@@ -207,7 +216,6 @@ func New(sim *simkernel.Simulation, net *simnet.Network, cfg Config) (*FileSyste
 	}
 	if cfg.ClientA > 0 {
 		fs.clientRamp = net.AddResource("clientstack", cfg.ClientA)
-		fs.activeClientOps = make(map[*Client]int)
 	}
 	return fs, nil
 }
@@ -218,16 +226,12 @@ func (fs *FileSystem) noteClientOps(c *Client, delta int) {
 	if fs.clientRamp == nil {
 		return
 	}
-	before := fs.activeClientOps[c]
+	before := c.activeOps
 	after := before + delta
 	if after < 0 {
 		panic("beegfs: client op accounting went negative")
 	}
-	if after == 0 {
-		delete(fs.activeClientOps, c)
-	} else {
-		fs.activeClientOps[c] = after
-	}
+	c.activeOps = after
 	switch {
 	case before == 0 && after > 0:
 		fs.activeClients++
@@ -279,6 +283,9 @@ type Client struct {
 	Name string
 	fs   *FileSystem
 	nic  *simnet.Resource
+	// activeOps counts in-flight I/O ops for the client-stack ramp
+	// accounting (noteClientOps).
+	activeOps int
 }
 
 // NewClient mounts the file system on a compute node with the given NIC
@@ -447,8 +454,10 @@ func (fs *FileSystem) startIO(op *WriteOp, read bool) (*simnet.Flow, error) {
 		return nil, fmt.Errorf("beegfs: write op needs a positive TransferSize")
 	}
 	regions := op.Regions
+	var one [1]Region
 	if len(regions) == 0 {
-		regions = []Region{{Offset: op.Offset, Length: op.Length}}
+		one[0] = Region{Offset: op.Offset, Length: op.Length}
+		regions = one[:]
 	}
 	if read {
 		for _, reg := range regions {
@@ -460,18 +469,17 @@ func (fs *FileSystem) startIO(op *WriteOp, read bool) (*simnet.Flow, error) {
 	} else if err := fs.precheckCapacity(op.File, regions); err != nil {
 		return nil, err
 	}
-	dist := make([]int64, op.File.Pattern.Count)
+	plan := getPlan(op.File.Pattern.Count)
+	dist := plan.dist
 	var totalLen int64
 	for _, reg := range regions {
 		if reg.Length < 0 || reg.Offset < 0 {
+			putPlan(plan)
 			return nil, fmt.Errorf("beegfs: negative write region")
 		}
-		d, err := op.File.Pattern.RegionDistribution(reg.Offset, reg.Length)
-		if err != nil {
+		if err := op.File.Pattern.AddRegionDistribution(dist, reg.Offset, reg.Length); err != nil {
+			putPlan(plan)
 			return nil, err
-		}
-		for i := range dist {
-			dist[i] += d[i]
 		}
 		totalLen += reg.Length
 	}
@@ -488,17 +496,17 @@ func (fs *FileSystem) startIO(op *WriteOp, read bool) (*simnet.Flow, error) {
 			maxEnd = end
 		}
 	}
-	plan := &ioPlan{
-		op:       op,
-		read:     read,
-		app:      app,
-		depth:    op.perTargetDepth(),
-		dist:     dist,
-		totalLen: totalLen,
-		maxEnd:   maxEnd,
-		overhead: float64(nTransfers) * fs.cfg.TransferLatency / float64(op.procs()),
-		baseName: fmt.Sprintf("%s/%s@%d", app, op.File.Path, regions[0].Offset),
-	}
+	// A WriteOp may be reused across sequential ops (ior reissues one op
+	// per segment); each StartWrite/StartRead begins a fresh retry budget.
+	op.attempts = 0
+	plan.op = op
+	plan.read = read
+	plan.app = app
+	plan.depth = op.perTargetDepth()
+	plan.totalLen = totalLen
+	plan.maxEnd = maxEnd
+	plan.overhead = float64(nTransfers) * fs.cfg.TransferLatency / float64(op.procs())
+	plan.baseName = fmt.Sprintf("%s/%s@%d", app, op.File.Path, regions[0].Offset)
 	flow, err := fs.issue(plan, float64(totalLen)/float64(MiB))
 	if err != nil {
 		var unavail *UnavailableError
@@ -509,9 +517,144 @@ func (fs *FileSystem) startIO(op *WriteOp, read bool) (*simnet.Flow, error) {
 			fs.retryLater(plan, float64(totalLen)/float64(MiB))
 			return nil, nil
 		}
+		putPlan(plan)
 		return nil, err
 	}
 	return flow, nil
+}
+
+// planPool recycles ioPlans (and their stripe-distribution slices)
+// across ops and FileSystems; a plan is returned at its op's terminal
+// point — completion or terminal failure — and every field is rewritten
+// before reuse.
+var planPool sync.Pool
+
+func getPlan(stripes int) *ioPlan {
+	pl, _ := planPool.Get().(*ioPlan)
+	if pl == nil {
+		pl = &ioPlan{}
+	}
+	if cap(pl.dist) < stripes {
+		pl.dist = make([]int64, stripes)
+	} else {
+		pl.dist = pl.dist[:stripes]
+		clear(pl.dist)
+	}
+	return pl
+}
+
+func putPlan(pl *ioPlan) {
+	pl.op = nil
+	planPool.Put(pl)
+}
+
+// ioAttempt is one issue's in-flight state: the flow object, the replica
+// sets it acquired, and the completion/abort callbacks — bound to the
+// attempt once, at construction. Attempts are pooled per FileSystem so
+// the per-op hot path reuses the flow (and its compiled usage vector),
+// the target slices and the callback closures instead of reallocating
+// them for every operation. The *simnet.Flow handed back by
+// StartWrite/StartRead is therefore valid only until the op's completion
+// or terminal-failure callback fires; after that the object is recycled.
+type ioAttempt struct {
+	fs          *FileSystem
+	plan        *ioPlan
+	volMiB      float64
+	primaries   []*storagesim.Target
+	secondaries []*storagesim.Target
+	flow        simnet.Flow
+	// finishFn is the pre-bound a.finish method value, so completions
+	// with transfer overhead schedule it without a fresh closure.
+	finishFn func()
+}
+
+// attemptPool recycles ioAttempts across every FileSystem: campaigns
+// build a fresh deployment per repetition, so a per-FileSystem pool
+// would never warm up. Pool contents carry no cross-op state — every
+// field is rewritten (or rebuilt, like the flow's usage vector) before
+// use — so reuse cannot perturb the simulation's arithmetic, and
+// sync.Pool keeps the parallel-campaign path race-free.
+var attemptPool sync.Pool
+
+func (fs *FileSystem) getAttempt() *ioAttempt {
+	a, _ := attemptPool.Get().(*ioAttempt)
+	if a == nil {
+		a = &ioAttempt{}
+		a.finishFn = a.finish
+		a.flow.OnComplete = a.onComplete
+		a.flow.OnAbort = a.onAbort
+	}
+	a.fs = fs
+	return a
+}
+
+// putAttempt recycles a. Callers must be done with every attempt field;
+// the backing arrays of the replica slices are kept for reuse.
+func (fs *FileSystem) putAttempt(a *ioAttempt) {
+	a.fs = nil
+	a.plan = nil
+	a.primaries = a.primaries[:0]
+	a.secondaries = a.secondaries[:0]
+	attemptPool.Put(a)
+}
+
+// release undoes the attempt's acquisitions (client op count, target
+// sessions).
+func (a *ioAttempt) release() {
+	fs, plan := a.fs, a.plan
+	fs.noteClientOps(plan.op.Client, -1)
+	for _, t := range a.primaries {
+		if t != nil {
+			t.Release(plan.app, plan.depth)
+		}
+	}
+	for _, t := range a.secondaries {
+		if t != nil {
+			t.Release(plan.app, plan.depth)
+		}
+	}
+}
+
+// onComplete fires when the flow's last byte is transferred; the
+// remaining per-transfer request overhead (paid serially by the ranks) is
+// waited out before the op completes.
+func (a *ioAttempt) onComplete(at simkernel.Time) {
+	if a.plan.overhead > 0 {
+		a.fs.sim.After(a.plan.overhead, a.finishFn)
+		return
+	}
+	a.finish()
+}
+
+// finish completes the op: releases sessions, accounts the written bytes
+// (including degraded-mirror bookkeeping), recycles the attempt and
+// delivers the caller's completion callback.
+func (a *ioAttempt) finish() {
+	fs, plan := a.fs, a.plan
+	op := plan.op
+	a.release()
+	if !plan.read {
+		fs.noteDegradedWrite(op.File, plan, a.primaries, a.secondaries, a.volMiB)
+		if op.File.Size < plan.maxEnd {
+			op.File.Size = plan.maxEnd
+			fs.accountStorage(op.File)
+		}
+	}
+	fs.putAttempt(a)
+	putPlan(plan)
+	if op.OnComplete != nil {
+		op.OnComplete(fs.sim.Now())
+	}
+}
+
+// onAbort fires when the flow is torn down mid-transfer by fault
+// injection: the unsent volume goes back through the retry machinery.
+func (a *ioAttempt) onAbort(at simkernel.Time) {
+	fs, plan := a.fs, a.plan
+	a.release()
+	rem := a.flow.Remaining()
+	fs.putAttempt(a)
+	fs.retryLater(plan, rem)
 }
 
 // issue starts (or re-starts) the flow for volMiB of the plan's volume
@@ -520,10 +663,16 @@ func (fs *FileSystem) startIO(op *WriteOp, read bool) (*simnet.Flow, error) {
 // no available replica.
 func (fs *FileSystem) issue(plan *ioPlan, volMiB float64) (*simnet.Flow, error) {
 	op := plan.op
-	primaries, secondaries, err := fs.selectReplicas(op.File, plan.read, plan.dist)
+	a := fs.getAttempt()
+	var err error
+	a.primaries, a.secondaries, err = fs.selectReplicas(op.File, plan.read, plan.dist, a.primaries, a.secondaries)
 	if err != nil {
+		fs.putAttempt(a)
 		return nil, err
 	}
+	a.plan = plan
+	a.volMiB = volMiB
+	primaries, secondaries := a.primaries, a.secondaries
 	// Acquire every available target of the file (BeeGFS opens sessions on
 	// all stripe targets), even those receiving no bytes from this region.
 	for _, t := range primaries {
@@ -536,17 +685,25 @@ func (fs *FileSystem) issue(plan *ioPlan, volMiB float64) (*simnet.Flow, error) 
 			t.Acquire(plan.app, plan.depth)
 		}
 	}
-	usage := make(map[*simnet.Resource]float64)
+	usage := fs.usageList[:0]
 	total := float64(plan.totalLen)
 	if total > 0 {
-		hostShare := make(map[*storagesim.Host]float64)
+		// hostShare is per-issue scratch reused across calls; values are
+		// fully rewritten before they are read, and the usage list each
+		// entry feeds is sorted and duplicate-merged downstream
+		// (buildUses), so reuse cannot perturb the arithmetic.
+		if fs.hostShare == nil {
+			fs.hostShare = make(map[*storagesim.Host]float64)
+		}
+		hostShare := fs.hostShare
+		clear(hostShare)
 		addSide := func(targets []*storagesim.Target) {
 			for i, t := range targets {
 				if t == nil || plan.dist[i] == 0 {
 					continue
 				}
 				w := float64(plan.dist[i]) / total
-				usage[t.Resource()] += w
+				usage = append(usage, simnet.ResourceShare{Res: t.Resource(), W: w})
 				hostShare[t.Host()] += w
 			}
 		}
@@ -556,71 +713,37 @@ func (fs *FileSystem) issue(plan *ioPlan, volMiB float64) (*simnet.Flow, error) 
 		// data once).
 		addSide(secondaries)
 		for h, w := range hostShare {
-			usage[h.Controller()] += w
+			usage = append(usage, simnet.ResourceShare{Res: h.Controller(), W: w})
 			if nic := fs.serverNIC[h]; nic != nil {
-				usage[nic] += w
+				usage = append(usage, simnet.ResourceShare{Res: nic, W: w})
 			}
 		}
 		if op.Client.nic != nil {
-			usage[op.Client.nic] = 1
+			usage = append(usage, simnet.ResourceShare{Res: op.Client.nic, W: 1})
 		}
 		if fs.clientRamp != nil {
 			w := op.RampWeight
 			if w == 0 {
 				w = 1
 			}
-			usage[fs.clientRamp] = w
+			usage = append(usage, simnet.ResourceShare{Res: fs.clientRamp, W: w})
 		}
 	}
+	fs.usageList = usage
 	fs.noteClientOps(op.Client, 1)
 	name := plan.baseName
 	if op.attempts > 0 {
 		name = fmt.Sprintf("%s#r%d", plan.baseName, op.attempts)
 	}
-	flow := &simnet.Flow{
-		Name:   name,
-		Volume: volMiB,
-		Cap:    op.RateCap,
-		Usage:  usage,
-	}
-	release := func() {
-		fs.noteClientOps(op.Client, -1)
-		for _, t := range primaries {
-			if t != nil {
-				t.Release(plan.app, plan.depth)
-			}
-		}
-		for _, t := range secondaries {
-			if t != nil {
-				t.Release(plan.app, plan.depth)
-			}
-		}
-	}
-	flow.OnComplete = func(at simkernel.Time) {
-		finish := func() {
-			release()
-			if !plan.read {
-				fs.noteDegradedWrite(op.File, plan, primaries, secondaries, volMiB)
-				if op.File.Size < plan.maxEnd {
-					op.File.Size = plan.maxEnd
-					fs.accountStorage(op.File)
-				}
-			}
-			if op.OnComplete != nil {
-				op.OnComplete(fs.sim.Now())
-			}
-		}
-		if plan.overhead > 0 {
-			fs.sim.After(plan.overhead, finish)
-		} else {
-			finish()
-		}
-	}
-	flow.OnAbort = func(at simkernel.Time) {
-		release()
-		fs.retryLater(plan, flow.Remaining())
-	}
+	flow := &a.flow
+	flow.Name = name
+	flow.Volume = volMiB
+	flow.Cap = op.RateCap
+	flow.UsageList = usage
 	fs.net.Start(flow)
+	// Start has compiled the usage list into the flow's dense vector;
+	// detach the scratch slice so the next issue can reuse it.
+	flow.UsageList = nil
 	return flow, nil
 }
 
@@ -632,16 +755,30 @@ func (fs *FileSystem) targetAvailable(t *storagesim.Target) bool {
 }
 
 // selectReplicas returns the replica targets an op may use, as slices
-// aligned with the stripe index (nil = that side skipped). Reads apply
-// per-stripe failover and return their chosen source in primaries. It
-// errors with an *UnavailableError when a stripe carrying bytes has no
-// available replica.
-func (fs *FileSystem) selectReplicas(f *File, read bool, dist []int64) ([]*storagesim.Target, []*storagesim.Target, error) {
+// aligned with the stripe index (nil = that side skipped; an empty
+// secondaries slice = no mirror side). Reads apply per-stripe failover
+// and return their chosen source in primaries. It errors with an
+// *UnavailableError when a stripe carrying bytes has no available
+// replica. pBuf and sBuf are reusable backing slices (the attempt's);
+// the returned slices alias them when their capacity suffices, so the
+// buffers survive both the success and error returns.
+func (fs *FileSystem) selectReplicas(f *File, read bool, dist []int64, pBuf, sBuf []*storagesim.Target) ([]*storagesim.Target, []*storagesim.Target, error) {
 	n := len(f.Targets)
-	primaries := make([]*storagesim.Target, n)
-	var secondaries []*storagesim.Target
+	primaries := pBuf[:0]
+	if cap(primaries) < n {
+		primaries = make([]*storagesim.Target, n)
+	} else {
+		primaries = primaries[:n]
+		clear(primaries)
+	}
+	secondaries := sBuf[:0]
 	if !read && f.Mirrored() {
-		secondaries = make([]*storagesim.Target, n)
+		if cap(secondaries) < n {
+			secondaries = make([]*storagesim.Target, n)
+		} else {
+			secondaries = secondaries[:n]
+			clear(secondaries)
+		}
 	}
 	for i, t := range f.Targets {
 		pOK := fs.targetAvailable(t)
@@ -654,18 +791,18 @@ func (fs *FileSystem) selectReplicas(f *File, read bool, dist []int64) ([]*stora
 			case sOK:
 				primaries[i] = f.mirrors[i]
 			case carries:
-				return nil, nil, &UnavailableError{Path: f.Path, Stripe: i, Read: true}
+				return primaries, secondaries, &UnavailableError{Path: f.Path, Stripe: i, Read: true}
 			}
 			continue
 		}
 		if pOK {
 			primaries[i] = t
 		}
-		if secondaries != nil && sOK {
+		if len(secondaries) != 0 && sOK {
 			secondaries[i] = f.mirrors[i]
 		}
-		if primaries[i] == nil && (secondaries == nil || secondaries[i] == nil) && carries {
-			return nil, nil, &UnavailableError{Path: f.Path, Stripe: i}
+		if primaries[i] == nil && (len(secondaries) == 0 || secondaries[i] == nil) && carries {
+			return primaries, secondaries, &UnavailableError{Path: f.Path, Stripe: i}
 		}
 	}
 	return primaries, secondaries, nil
@@ -722,6 +859,7 @@ func (fs *FileSystem) failOp(plan *ioPlan, reason error) {
 	if op.OnError != nil {
 		op.OnError(&IOFailedError{Path: op.File.Path, Op: kind, Attempts: op.attempts, Reason: reason})
 	}
+	putPlan(plan)
 }
 
 // noteDegradedWrite records the bytes a completed write could place on

@@ -48,15 +48,25 @@ func (p StripePattern) ChunkOfOffset(off int64) int64 {
 // (which server receives which fraction of the traffic) is the paper's key
 // quantity.
 func (p StripePattern) RegionDistribution(off, n int64) ([]int64, error) {
-	if err := p.Validate(); err != nil {
+	dist := make([]int64, p.Count)
+	if err := p.AddRegionDistribution(dist, off, n); err != nil {
 		return nil, err
 	}
-	if off < 0 || n < 0 {
-		return nil, fmt.Errorf("beegfs: negative region off=%d n=%d", off, n)
+	return dist, nil
+}
+
+// AddRegionDistribution accumulates the region's per-target byte counts
+// into dist (len must be p.Count), sparing hot paths the per-region slice
+// RegionDistribution allocates.
+func (p StripePattern) AddRegionDistribution(dist []int64, off, n int64) error {
+	if err := p.Validate(); err != nil {
+		return err
 	}
-	dist := make([]int64, p.Count)
+	if off < 0 || n < 0 {
+		return fmt.Errorf("beegfs: negative region off=%d n=%d", off, n)
+	}
 	if n == 0 {
-		return dist, nil
+		return nil
 	}
 	stripeWidth := p.ChunkSize * int64(p.Count)
 	// Whole stripes fully covered contribute ChunkSize to every target.
@@ -76,7 +86,7 @@ func (p StripePattern) RegionDistribution(off, n int64) ([]int64, error) {
 			}
 			dist[p.TargetOfChunk(c)] += hi - lo
 		}
-		return dist, nil
+		return nil
 	}
 	// Large region: peel the ragged head up to a stripe boundary, the
 	// ragged tail from the last stripe boundary, and account the aligned
@@ -105,5 +115,5 @@ func (p StripePattern) RegionDistribution(off, n int64) ([]int64, error) {
 			dist[i] += perTarget
 		}
 	}
-	return dist, nil
+	return nil
 }

@@ -7,6 +7,7 @@ package ior
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/beegfs"
 	"repro/internal/rng"
@@ -321,44 +322,109 @@ func (r *Run) recordTargets(f *beegfs.File) {
 // semantics: a task moves to its next segment only after finishing the
 // previous one), and rank r lives on node r % Nodes.
 func (r *Run) startNodeGroup(file *beegfs.File, client *beegfs.Client, node int, rampWeight, depthScale float64, read bool) {
-	p := r.params
-	procs := p.Nodes * p.PPN
-	seg := 0
-	var issue func()
-	issue = func() {
-		regions := make([]beegfs.Region, 0, p.PPN)
-		for i := 0; i < p.PPN; i++ {
-			rank := node + i*p.Nodes
-			regions = append(regions, beegfs.Region{
-				Offset: int64(seg*procs+rank) * p.BlockSize,
-				Length: p.BlockSize,
-			})
-		}
-		op := &beegfs.WriteOp{
-			Client:       client,
-			File:         file,
-			Regions:      regions,
-			Procs:        p.PPN,
-			App:          p.app(),
-			TransferSize: p.TransferSize,
-			RampWeight:   rampWeight,
-			DepthScale:   depthScale,
-			OnComplete: func(at simkernel.Time) {
-				seg++
-				if seg < p.Segments {
-					issue()
-					return
-				}
-				r.processDone(at)
-			},
-			OnError: func(err error) { r.fail(err) },
-		}
-		if err := r.startOp(op, read); err != nil {
-			r.fail(fmt.Errorf("ior: I/O failed mid-run: %w", err))
-		}
+	p := &r.params
+	g := getGroupIO()
+	g.r, g.node, g.read = r, node, read
+	g.op = beegfs.WriteOp{
+		Client:       client,
+		File:         file,
+		Procs:        p.PPN,
+		App:          p.app(),
+		TransferSize: p.TransferSize,
+		RampWeight:   rampWeight,
+		DepthScale:   depthScale,
+		OnComplete:   g.onCompleteFn,
+		OnError:      g.onErrorFn,
 	}
-	issue()
+	if cap(g.regions) < p.PPN {
+		g.regions = make([]beegfs.Region, p.PPN)
+	} else {
+		g.regions = g.regions[:p.PPN]
+	}
+	g.op.Regions = g.regions
+	g.issue()
 }
+
+// groupIO drives the sequential segments of one node's coalesced ranks
+// (shared-file mode) or of one rank against its own file (N-N mode, no
+// coalescing: regions empty). Segments run strictly sequentially, so one
+// op, one regions slice and one callback pair serve the whole chain: the
+// beegfs layer derives its plan from the regions synchronously at issue
+// time and never reads them again, so rewriting the offsets for the next
+// segment is safe.
+type groupIO struct {
+	r       *Run
+	node    int
+	seg     int
+	read    bool
+	op      beegfs.WriteOp
+	regions []beegfs.Region // active segment regions; empty in N-N mode
+
+	// Bound once per object so reuse from the pool does not re-allocate
+	// the method-value closures handed to the op.
+	onCompleteFn func(simkernel.Time)
+	onErrorFn    func(error)
+}
+
+// groupPool recycles groupIO objects across ranks and repetitions.
+// Campaigns build a fresh Run per repetition, so a per-Run pool would
+// never warm up; a package-level sync.Pool amortizes the op, regions
+// and callback allocations across the whole campaign (and stays safe
+// under parallel repetitions). A groupIO is returned to the pool only
+// after its final segment's completion callback, at which point the
+// beegfs layer has fully detached from the op.
+var groupPool sync.Pool
+
+func getGroupIO() *groupIO {
+	g, _ := groupPool.Get().(*groupIO)
+	if g == nil {
+		g = &groupIO{}
+		g.onCompleteFn = g.onComplete
+		g.onErrorFn = g.onError
+	}
+	return g
+}
+
+func putGroupIO(g *groupIO) {
+	g.r = nil
+	g.node, g.seg = 0, 0
+	g.read = false
+	g.op = beegfs.WriteOp{}
+	g.regions = g.regions[:0]
+	groupPool.Put(g)
+}
+
+func (g *groupIO) issue() {
+	r, p := g.r, &g.r.params
+	if len(g.regions) > 0 {
+		procs := p.Nodes * p.PPN
+		for i := 0; i < p.PPN; i++ {
+			rank := g.node + i*p.Nodes
+			g.regions[i] = beegfs.Region{
+				Offset: int64(g.seg*procs+rank) * p.BlockSize,
+				Length: p.BlockSize,
+			}
+		}
+	} else {
+		g.op.Offset = int64(g.seg) * p.BlockSize
+	}
+	if err := r.startOp(&g.op, g.read); err != nil {
+		r.fail(fmt.Errorf("ior: I/O failed mid-run: %w", err))
+	}
+}
+
+func (g *groupIO) onComplete(at simkernel.Time) {
+	g.seg++
+	if g.seg < g.r.params.Segments {
+		g.issue()
+		return
+	}
+	r := g.r
+	putGroupIO(g)
+	r.processDone(at)
+}
+
+func (g *groupIO) onError(err error) { g.r.fail(err) }
 
 // startOp dispatches to the write or read path.
 func (r *Run) startOp(op *beegfs.WriteOp, read bool) error {
@@ -373,34 +439,22 @@ func (r *Run) startOp(op *beegfs.WriteOp, read bool) error {
 // startProcess issues one rank's segments sequentially against its own
 // file (N-N mode).
 func (r *Run) startProcess(file *beegfs.File, client *beegfs.Client, rampWeight, depthScale float64, read bool) {
-	p := r.params
-	seg := 0
-	var issue func()
-	issue = func() {
-		op := &beegfs.WriteOp{
-			Client:       client,
-			File:         file,
-			Offset:       int64(seg) * p.BlockSize,
-			Length:       p.BlockSize,
-			App:          p.app(),
-			TransferSize: p.TransferSize,
-			RampWeight:   rampWeight,
-			DepthScale:   depthScale,
-			OnComplete: func(at simkernel.Time) {
-				seg++
-				if seg < p.Segments {
-					issue()
-					return
-				}
-				r.processDone(at)
-			},
-			OnError: func(err error) { r.fail(err) },
-		}
-		if err := r.startOp(op, read); err != nil {
-			r.fail(fmt.Errorf("ior: I/O failed mid-run: %w", err))
-		}
+	p := &r.params
+	g := getGroupIO()
+	g.r, g.read = r, read
+	g.op = beegfs.WriteOp{
+		Client:       client,
+		File:         file,
+		Length:       p.BlockSize,
+		App:          p.app(),
+		TransferSize: p.TransferSize,
+		RampWeight:   rampWeight,
+		DepthScale:   depthScale,
+		OnComplete:   g.onCompleteFn,
+		OnError:      g.onErrorFn,
 	}
-	issue()
+	g.regions = g.regions[:0]
+	g.issue()
 }
 
 func (r *Run) processDone(at simkernel.Time) {

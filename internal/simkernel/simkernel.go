@@ -14,7 +14,6 @@
 package simkernel
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -43,33 +42,110 @@ func (e *Event) When() Time { return e.when }
 // Scheduled reports whether the event is still pending in the queue.
 func (e *Event) Scheduled() bool { return e.index >= 0 }
 
+// eventHeap is a 4-ary min-heap ordered by (when, seq). The (when, seq)
+// pair is a strict total order — seq is unique among queued events — so the
+// pop sequence is fully determined by the *set* of queued events, not by
+// the heap's internal layout: any correct heap (binary, 4-ary, sorted
+// list) yields the identical event order. The 4-ary shape is a pure
+// constant-factor optimization: campaigns spend ~20% of their time in
+// queue maintenance, and halving the tree depth plus dropping the
+// container/heap interface dispatch makes Reschedule (the rebalancer's
+// per-flow hot call) markedly cheaper without touching determinism.
 type eventHeap []*Event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
+// eventBefore is the queue's strict total order.
+func eventBefore(a, b *Event) bool {
+	if a.when != b.when {
+		return a.when < b.when
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
+
+// push appends e and restores the heap property.
+func (h *eventHeap) push(e *Event) {
 	e.index = len(*h)
 	*h = append(*h, e)
+	h.siftUp(e.index)
 }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
+
+// popMin removes and returns the earliest event.
+func (h *eventHeap) popMin() *Event {
+	q := *h
+	e := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[0].index = 0
+	q[n] = nil
+	*h = q[:n]
+	if n > 0 {
+		h.siftDown(0)
+	}
 	e.index = -1
-	*h = old[:n-1]
 	return e
+}
+
+// remove deletes the event at index i.
+func (h *eventHeap) remove(i int) {
+	q := *h
+	e := q[i]
+	n := len(q) - 1
+	if i != n {
+		q[i] = q[n]
+		q[i].index = i
+	}
+	q[n] = nil
+	*h = q[:n]
+	if i != n {
+		h.fix(i)
+	}
+	e.index = -1
+}
+
+// fix restores the heap property after q[i]'s time changed in place.
+func (h eventHeap) fix(i int) {
+	h.siftDown(i)
+	h.siftUp(i)
+}
+
+func (h eventHeap) siftUp(i int) {
+	e := h[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !eventBefore(e, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		h[i].index = i
+		i = p
+	}
+	h[i] = e
+	e.index = i
+}
+
+func (h eventHeap) siftDown(i int) {
+	n := len(h)
+	e := h[i]
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		// Earliest of the up-to-four children.
+		min := c
+		for k := c + 1; k < c+4 && k < n; k++ {
+			if eventBefore(h[k], h[min]) {
+				min = k
+			}
+		}
+		if !eventBefore(h[min], e) {
+			break
+		}
+		h[i] = h[min]
+		h[i].index = i
+		i = min
+	}
+	h[i] = e
+	e.index = i
 }
 
 // Simulation owns a virtual clock and an event queue. The zero value is
@@ -106,7 +182,7 @@ func (s *Simulation) At(t Time, fn func()) *Event {
 	}
 	e := &Event{when: t, seq: s.nextSeq, fn: fn}
 	s.nextSeq++
-	heap.Push(&s.queue, e)
+	s.queue.push(e)
 	return e
 }
 
@@ -124,7 +200,7 @@ func (s *Simulation) Cancel(e *Event) bool {
 	if e == nil || e.index < 0 {
 		return false
 	}
-	heap.Remove(&s.queue, e.index)
+	s.queue.remove(e.index)
 	return true
 }
 
@@ -147,13 +223,13 @@ func (s *Simulation) Reschedule(e *Event, t Time) {
 	}
 	if e.index >= 0 {
 		e.when = t
-		heap.Fix(&s.queue, e.index)
+		s.queue.fix(e.index)
 		return
 	}
 	e.when = t
 	e.seq = s.nextSeq
 	s.nextSeq++
-	heap.Push(&s.queue, e)
+	s.queue.push(e)
 }
 
 // Step fires the earliest pending event, advancing the clock to its time.
@@ -162,7 +238,7 @@ func (s *Simulation) Step() bool {
 	if len(s.queue) == 0 {
 		return false
 	}
-	e := heap.Pop(&s.queue).(*Event)
+	e := s.queue.popMin()
 	if e.when < s.now {
 		panic("simkernel: queue produced an event in the past")
 	}

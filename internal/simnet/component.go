@@ -24,6 +24,12 @@ import "sort"
 type component struct {
 	// flows is (Name, seq)-sorted: the scoped solver input order.
 	flows []*Flow
+	// capped holds the component's flows with a rate cap, in ascending
+	// (Cap, Name, seq) order. The solver seeds its cap frontier from it
+	// by copy instead of re-sorting every solve; maintained alongside
+	// flows on insert/remove/merge/rebuild. A flow's Cap must therefore
+	// not change while it is in flight.
+	capped []*Flow
 	// resources is registration-idx-sorted and holds exactly the
 	// resources touched by at least one flow of the component.
 	resources []*Resource
@@ -41,6 +47,11 @@ type component struct {
 	removals int
 	// mark is Start's scratch flag for collecting distinct components.
 	mark bool
+	// traj is the freeze trajectory of the component's last recorded
+	// solve; when still valid at the next single-flow removal, the
+	// rebalance warm-starts from it instead of re-solving from scratch.
+	// Any other mutation (merge, rebuild, reset) invalidates it.
+	traj trajectory
 }
 
 // flowBefore is the canonical in-component flow order: by name, then by
@@ -53,15 +64,40 @@ func flowBefore(a, b *Flow) bool {
 	return a.seq < b.seq
 }
 
-// insertFlow places f into the sorted flow list.
+// flowCmp is flowBefore as a three-way comparison for slices.SortFunc.
+func flowCmp(a, b *Flow) int {
+	if a.Name != b.Name {
+		if a.Name < b.Name {
+			return -1
+		}
+		return 1
+	}
+	switch {
+	case a.seq < b.seq:
+		return -1
+	case a.seq > b.seq:
+		return 1
+	}
+	return 0
+}
+
+// insertFlow places f into the sorted flow list (and, if capped, the
+// cap-ordered list).
 func (c *component) insertFlow(f *Flow) {
 	i := sort.Search(len(c.flows), func(i int) bool { return flowBefore(f, c.flows[i]) })
 	c.flows = append(c.flows, nil)
 	copy(c.flows[i+1:], c.flows[i:])
 	c.flows[i] = f
+	if f.Cap > 0 {
+		i = sort.Search(len(c.capped), func(i int) bool { return capOrder(f, c.capped[i]) < 0 })
+		c.capped = append(c.capped, nil)
+		copy(c.capped[i+1:], c.capped[i:])
+		c.capped[i] = f
+	}
 }
 
-// removeFlow deletes f from the sorted flow list by identity.
+// removeFlow deletes f from the sorted flow list (and the cap-ordered
+// list) by identity.
 func (c *component) removeFlow(f *Flow) {
 	i := sort.Search(len(c.flows), func(i int) bool { return !flowBefore(c.flows[i], f) })
 	for ; i < len(c.flows); i++ {
@@ -69,6 +105,18 @@ func (c *component) removeFlow(f *Flow) {
 			copy(c.flows[i:], c.flows[i+1:])
 			c.flows[len(c.flows)-1] = nil
 			c.flows = c.flows[:len(c.flows)-1]
+			break
+		}
+	}
+	if f.Cap <= 0 {
+		return
+	}
+	i = sort.Search(len(c.capped), func(i int) bool { return capOrder(c.capped[i], f) >= 0 })
+	for ; i < len(c.capped); i++ {
+		if c.capped[i] == f {
+			copy(c.capped[i:], c.capped[i+1:])
+			c.capped[len(c.capped)-1] = nil
+			c.capped = c.capped[:len(c.capped)-1]
 			return
 		}
 	}
@@ -98,14 +146,27 @@ func (c *component) reset() {
 	for i := range c.flows {
 		c.flows[i] = nil
 	}
+	for i := range c.capped {
+		c.capped[i] = nil
+	}
 	for i := range c.resources {
 		c.resources[i] = nil
 	}
 	c.flows = c.flows[:0]
+	c.capped = c.capped[:0]
 	c.resources = c.resources[:0]
 	c.stale = false
 	c.mark = false
 	c.removals = 0
+	c.traj.valid = false
+	// The trajectory arenas keep their capacity for reuse, but a pooled
+	// component must not pin flows or resources through the unused
+	// capacity regions.
+	clear(c.traj.passes[:cap(c.traj.passes)])
+	clear(c.traj.frozen[:cap(c.traj.frozen)])
+	c.traj.passes = c.traj.passes[:0]
+	c.traj.frozen = c.traj.frozen[:0]
+	c.traj.loads = c.traj.loads[:0]
 }
 
 // newComp returns an empty component from the free list (or a fresh one),
@@ -172,6 +233,21 @@ func (n *Network) mergeComp(dst, src *component) {
 	n.mergeRes = append(n.mergeRes, src.resources[j:]...)
 	dst.resources = append(dst.resources[:0], n.mergeRes...)
 
+	n.mergeCapped = n.mergeCapped[:0]
+	i, j = 0, 0
+	for i < len(dst.capped) && j < len(src.capped) {
+		if capOrder(dst.capped[i], src.capped[j]) < 0 {
+			n.mergeCapped = append(n.mergeCapped, dst.capped[i])
+			i++
+		} else {
+			n.mergeCapped = append(n.mergeCapped, src.capped[j])
+			j++
+		}
+	}
+	n.mergeCapped = append(n.mergeCapped, dst.capped[i:]...)
+	n.mergeCapped = append(n.mergeCapped, src.capped[j:]...)
+	dst.capped = append(dst.capped[:0], n.mergeCapped...)
+
 	for _, f := range src.flows {
 		f.comp = dst
 	}
@@ -180,6 +256,7 @@ func (n *Network) mergeComp(dst, src *component) {
 	}
 	dst.stale = dst.stale || src.stale
 	dst.removals += src.removals
+	dst.traj.valid = false
 	n.dropComp(src)
 }
 
@@ -202,6 +279,7 @@ func ufFind(parent []int32, x int32) int32 {
 func (n *Network) rebuildComp(c *component) []*component {
 	c.stale = false
 	c.removals = 0
+	c.traj.valid = false
 	n.frags = n.frags[:0]
 	if len(c.resources) == 0 {
 		n.frags = append(n.frags, c)
@@ -251,7 +329,9 @@ func (n *Network) rebuildComp(c *component) []*component {
 	// Move the membership aside and reuse c as the first fragment.
 	n.mergeFlows = append(n.mergeFlows[:0], c.flows...)
 	n.mergeRes = append(n.mergeRes[:0], c.resources...)
+	n.mergeCapped = append(n.mergeCapped[:0], c.capped...)
 	c.flows = c.flows[:0]
+	c.capped = c.capped[:0]
 	c.resources = c.resources[:0]
 	n.frags = append(n.frags, c)
 	firstRootPending := true
@@ -279,6 +359,12 @@ func (n *Network) rebuildComp(c *component) []*component {
 		}
 		frag.flows = append(frag.flows, f)
 		f.comp = frag
+	}
+	// Distribute the cap-ordered list the same way: walking the master
+	// list in capOrder and appending to each flow's new fragment keeps
+	// every fragment's capped list sorted without re-sorting.
+	for _, f := range n.mergeCapped {
+		f.comp.capped = append(f.comp.capped, f)
 	}
 	return n.frags
 }

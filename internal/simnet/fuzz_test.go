@@ -230,6 +230,29 @@ func verifyNet(t *testing.T, n *Network) {
 			if active == 0 {
 				t.Fatalf("resource %s registered with no active flow", r.Name)
 			}
+			// The per-resource user index must hold exactly the active
+			// flows touching r, with the compiled weights and consistent
+			// back-indices (the index itself is unordered).
+			if len(r.users) != active {
+				t.Fatalf("resource %s user index has %d entries, %d active flows use it", r.Name, len(r.users), active)
+			}
+			seen := make(map[*Flow]bool, len(r.users))
+			for j := range r.users {
+				u := r.users[j]
+				if seen[u.f] {
+					t.Fatalf("resource %s user index lists %s twice", r.Name, u.f.Name)
+				}
+				seen[u.f] = true
+				if int(u.ui) >= len(u.f.uses) || u.f.uses[u.ui].res != r {
+					t.Fatalf("resource %s user index back-link ui=%d for %s does not point at r", r.Name, u.ui, u.f.Name)
+				}
+				if u.f.uses[u.ui].upos != int32(j) {
+					t.Fatalf("resource %s user %s has upos=%d, index position %d", r.Name, u.f.Name, u.f.uses[u.ui].upos, j)
+				}
+				if u.w != u.f.uses[u.ui].w {
+					t.Fatalf("resource %s user index weight %v for %s, usage vector says %v", r.Name, u.w, u.f.Name, u.f.uses[u.ui].w)
+				}
+			}
 			roots[find(r)] = true
 		}
 		if !c.stale && len(roots) != 1 {
@@ -255,12 +278,13 @@ func verifyNet(t *testing.T, n *Network) {
 		for i, f := range c.flows {
 			want[i] = math.Float64bits(f.rate)
 		}
-		solve(c.flows, c.resources)
+		solveReference(c.flows, c.resources)
 		for i, f := range c.flows {
 			if got := math.Float64bits(f.rate); got != want[i] {
 				t.Fatalf("flow %s rate %x diverged from reference solve %x", f.Name, want[i], got)
 			}
 		}
+		verifyKKT(t, c.flows, c.resources)
 		for _, f := range c.flows {
 			switch {
 			case f.remaining <= 0:
@@ -280,6 +304,83 @@ func verifyNet(t *testing.T, n *Network) {
 					t.Fatalf("flow %s completion at %v, settled state says %v", f.Name, f.event.When(), at)
 				}
 			}
+		}
+	}
+}
+
+// FuzzSolveLargeSingleComponent exercises the incremental solver at
+// campaign scale, in its own target so its ~0.1-0.2 s executions never
+// starve the cheap whole-script differential above. Each input drives
+// 256-1024 flows all riding one shared resource (a single connected
+// component, like every campaign via the client-stack ramp) plus
+// per-group resources, with at most 32 distinct cap values so the pass
+// count stays bounded. All flows start up front (cold solves over a
+// growing set), then the run drains through completions — every other
+// one a warm start — with deterministic mid-run aborts; verifyNet
+// re-checks rates against the reference solver at 0 ULP at checkpoints.
+func FuzzSolveLargeSingleComponent(f *testing.F) {
+	f.Add([]byte{0x00, 0x00, 0x03, 0x01, 0x07, 0x13, 0x2a, 0x05, 0x19, 0x40, 0x77, 0x02})
+	f.Add([]byte{0x09, 0x01, 0x05, 0x02, 0x61, 0x0e, 0x55, 0x23, 0x31, 0x12, 0x43, 0x09, 0x28, 0x16})
+	f.Add([]byte{0x11, 0x02, 0x01, 0x03, 0x66, 0x04, 0x39, 0x51, 0x7f, 0x20, 0x0b, 0x2d})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 8 {
+			return
+		}
+		fzLargeSingleComponent(t, data)
+	})
+}
+
+func fzLargeSingleComponent(t *testing.T, data []byte) {
+	nFlows := 256 + int(data[1]%3)*384
+	sim := simkernel.New()
+	net := New(sim)
+	shared := net.AddResource("ramp", 2000+100*float64(data[2]%8))
+	nExtra := 8 + int(data[3]%4)
+	extras := make([]*Resource, nExtra)
+	for i := range extras {
+		extras[i] = net.AddResource(fmt.Sprintf("x%02d", i), 100+25*float64(int(data[4+i%(len(data)-4)])%24))
+	}
+	flows := make([]*Flow, nFlows)
+	completed := 0
+	checkEvery := nFlows / 6
+	for i := range flows {
+		b := int(data[(5+i)%len(data)])
+		f := &Flow{
+			Name:   fmt.Sprintf("L%04d", i),
+			Volume: 8 + float64(b%64),
+			Usage: map[*Resource]float64{
+				shared:           0.125,
+				extras[i%nExtra]: 0.25 + 0.25*float64(b%4),
+			},
+		}
+		if i%3 != 0 {
+			f.Cap = 4 * float64(1+(i*7+b)%32)
+		}
+		f.OnComplete = func(simkernel.Time) {
+			completed++
+			if completed%checkEvery != 0 {
+				return
+			}
+			verifyNet(t, net)
+			// Abort one survivor so the abort-side warm start runs at
+			// scale too.
+			for _, g := range flows {
+				if g.inNet {
+					net.Abort(g)
+					return
+				}
+			}
+		}
+		flows[i] = f
+		net.Start(f)
+	}
+	verifyNet(t, net)
+	if err := sim.Run(); err != nil {
+		t.Fatalf("large topology run: %v", err)
+	}
+	for _, f := range flows {
+		if f.inNet {
+			t.Fatalf("flow %s still in flight after the queue drained", f.Name)
 		}
 	}
 }

@@ -21,6 +21,7 @@ package simnet
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"repro/internal/simkernel"
@@ -50,19 +51,84 @@ type Resource struct {
 	// component's resource list during a union-find pass.
 	uf int32
 
+	// users is the list of in-flight flows whose usage vector touches this
+	// resource, with their weights — the transpose of Flow.uses. It is
+	// maintained by retain/release in O(1) per edge (append on insert,
+	// swap-remove via the back-indices below) and gives the solver
+	// O(users) bottleneck freezing (instead of scanning every flow) and
+	// the fault injector O(matches) flow lookup. The list is unordered:
+	// freeze order within a pass has no floating-point effect, and the
+	// fault-injection accessors sort their output.
+	users []resUse
+
+	// usersInline is the initial backing array of users (see insertUser):
+	// it keeps the index heap-allocation-free for the common resource
+	// that never has more than a few concurrent users.
+	usersInline [4]resUse
+
 	// scratch used by the solver
 	load float64
 	sumW float64
 }
 
+// resUse is one entry of a resource's user index: an in-flight flow
+// touching the resource and the fraction of the flow's rate it consumes
+// here. ui is the index of this resource in f.uses, so a swap-remove can
+// repair the displaced entry's back-index in O(1).
+type resUse struct {
+	f  *Flow
+	w  float64
+	ui int32
+}
+
+// insertUser appends the ui-th usage-vector entry of f to the user index
+// and records the position in the entry's back-index. The index starts
+// in the resource's inline backing array: deployments (and so resources)
+// are churned every campaign repetition, and most resources never see
+// more than a handful of concurrent users, so staying inline keeps the
+// index allocation-free for them; append spills busier resources (the
+// shared client ramp) to the heap transparently.
+func (r *Resource) insertUser(f *Flow, ui int) {
+	if r.users == nil {
+		r.users = r.usersInline[:0]
+	}
+	f.uses[ui].upos = int32(len(r.users))
+	r.users = append(r.users, resUse{f: f, w: f.uses[ui].w, ui: int32(ui)})
+}
+
+// removeUser deletes the ui-th usage-vector entry of f from the user
+// index by swap-remove, repairing the back-index of the entry moved into
+// the vacated slot.
+func (r *Resource) removeUser(f *Flow, ui int) {
+	pos := int(f.uses[ui].upos)
+	last := len(r.users) - 1
+	if pos != last {
+		moved := r.users[last]
+		r.users[pos] = moved
+		moved.f.uses[moved.ui].upos = int32(pos)
+	}
+	r.users[last] = resUse{}
+	r.users = r.users[:last]
+}
+
 // Capacity returns the resource's current capacity in MiB/s.
 func (r *Resource) Capacity() float64 { return r.capacity }
 
+// ResourceShare is one entry of a flow's dense usage vector: a resource
+// and the fraction of the flow's rate consumed on it.
+type ResourceShare struct {
+	Res *Resource
+	W   float64
+}
+
 // use is one dense entry of a flow's usage vector: a resource and the
-// fraction of the flow's rate consumed on it.
+// fraction of the flow's rate consumed on it. upos is the entry's current
+// position in res.users while the flow is in flight (maintained by
+// retain/release).
 type use struct {
-	res *Resource
-	w   float64
+	res  *Resource
+	w    float64
+	upos int32
 }
 
 // Flow is a data stream with a fixed volume routed over a set of resources.
@@ -80,6 +146,15 @@ type Flow struct {
 	// API; Start compiles it into a dense slice the solver iterates
 	// without map lookups.
 	Usage map[*Resource]float64
+
+	// UsageList is the allocation-light alternative to Usage: a dense
+	// list of (resource, weight) entries, taking precedence over Usage
+	// when non-nil. Entries may repeat a resource; their weights add, in
+	// list order, exactly as repeated `Usage[r] += w` insertions would.
+	// Start compiles the list synchronously and never reads it again, so
+	// a caller issuing many flows may reuse one backing slice, detaching
+	// it (UsageList = nil) once Start returns.
+	UsageList []ResourceShare
 
 	// OnComplete, if non-nil, fires when the last byte is transferred.
 	OnComplete func(at simkernel.Time)
@@ -112,6 +187,13 @@ type Flow struct {
 	net     *Network
 
 	frozen bool // solver scratch
+
+	// fpass is solver scratch: the waterfill pass this flow froze in
+	// during the last trajectory-recorded solve (fpassNever while
+	// unfrozen). The warm-start path reads it to reconstruct, bit for
+	// bit, the bottleneck sums a re-solve without the departed flow
+	// would have formed.
+	fpass int32
 }
 
 // Rate returns the flow's current fair-share rate in MiB/s.
@@ -150,24 +232,67 @@ func (f *Flow) usesRes(r *Resource) bool {
 	return false
 }
 
-// buildUses compiles f.Usage into the dense uses slice, validating weights.
-// The slice is ordered by (registration idx, name) so solver iteration
-// order never depends on map iteration.
+// buildUses compiles f.UsageList (or, when that is nil, f.Usage) into the
+// dense uses slice, validating weights. The slice is ordered by
+// (registration idx, name) so solver iteration order never depends on map
+// iteration.
 func (f *Flow) buildUses() {
-	f.uses = f.uses[:0]
-	for r, w := range f.Usage {
-		if w <= 0 {
-			panic(fmt.Sprintf("simnet: non-positive usage weight %v on %s", w, r.Name))
-		}
-		f.uses = append(f.uses, use{res: r, w: w})
+	n := len(f.Usage)
+	if f.UsageList != nil {
+		n = len(f.UsageList)
 	}
-	sort.Slice(f.uses, func(i, j int) bool {
-		a, b := f.uses[i].res, f.uses[j].res
-		if a.idx != b.idx {
-			return a.idx < b.idx
+	if cap(f.uses) < n {
+		f.uses = make([]use, 0, n)
+	} else {
+		f.uses = f.uses[:0]
+	}
+	if f.UsageList != nil {
+		for _, e := range f.UsageList {
+			if e.W <= 0 {
+				panic(fmt.Sprintf("simnet: non-positive usage weight %v on %s", e.W, e.Res.Name))
+			}
+			f.uses = append(f.uses, use{res: e.Res, w: e.W})
 		}
-		return a.Name < b.Name
-	})
+	} else {
+		for r, w := range f.Usage {
+			if w <= 0 {
+				panic(fmt.Sprintf("simnet: non-positive usage weight %v on %s", w, r.Name))
+			}
+			f.uses = append(f.uses, use{res: r, w: w})
+		}
+	}
+	// Insertion sort into (idx, Name) order: usage vectors are small (one
+	// entry per touched resource), and an inlined sort keeps Start off the
+	// sort.Slice closure allocation. The sort is stable (strict-greater
+	// shifts only), which the duplicate merge below relies on.
+	for i := 1; i < len(f.uses); i++ {
+		u := f.uses[i]
+		j := i
+		for ; j > 0; j-- {
+			a, b := f.uses[j-1].res, u.res
+			if a.idx < b.idx || (a.idx == b.idx && a.Name <= b.Name) {
+				break
+			}
+			f.uses[j] = f.uses[j-1]
+		}
+		f.uses[j] = u
+	}
+	if f.UsageList != nil {
+		// A list may name a resource more than once where a map insert
+		// would have accumulated in place. Stable sort keeps duplicates in
+		// list order, so summing adjacent runs adds the weights in exactly
+		// the sequence repeated map insertions would have.
+		k := 0
+		for i := 0; i < len(f.uses); i++ {
+			if k > 0 && f.uses[k-1].res == f.uses[i].res {
+				f.uses[k-1].w += f.uses[i].w
+				continue
+			}
+			f.uses[k] = f.uses[i]
+			k++
+		}
+		f.uses = f.uses[:k]
+	}
 }
 
 // Network couples a set of resources and active flows to a simulation
@@ -202,18 +327,24 @@ type Network struct {
 
 	// Scratch buffers for component merge, rebuild and Start, reused
 	// across events so the steady state stays off the allocator.
-	mergeFlows []*Flow
-	mergeRes   []*Resource
-	ufParent   []int32
-	fragOf     []int32
-	frags      []*component
-	startComps []*component
+	mergeFlows  []*Flow
+	mergeRes    []*Resource
+	mergeCapped []*Flow
+	ufParent    []int32
+	fragOf      []int32
+	frags       []*component
+	startComps  []*component
 
 	// forceGlobal, when set before any flow starts, keeps every flow in
 	// one component so each event settles and re-solves the whole active
 	// set — the historical global-solve behavior. It exists for
 	// benchmarks and differential tests; campaigns never set it.
 	forceGlobal bool
+
+	// sv is the incremental waterfill's scratch state. Each Network owns
+	// its own: parallel campaigns give every worker a private Network, so
+	// solver scratch must never be package-level.
+	sv solver
 
 	nextSeq  uint64
 	observer func(at simkernel.Time, f *Flow, rate float64)
@@ -276,7 +407,7 @@ func (n *Network) SetCapacity(r *Resource, capacity float64) {
 	now := n.sim.Now()
 	n.settleComp(r.comp, now)
 	r.capacity = capacity
-	n.rebalanceComp(r.comp, now)
+	n.rebalanceComp(r.comp, now, nil)
 }
 
 // ActiveFlows returns the number of in-flight flows.
@@ -292,6 +423,7 @@ func (n *Network) retain(f *Flow, c *component) {
 			c.insertResource(r)
 		}
 		r.nActive++
+		r.insertUser(f, i)
 	}
 }
 
@@ -301,6 +433,7 @@ func (n *Network) release(f *Flow) {
 	for i := range f.uses {
 		r := f.uses[i].res
 		r.nActive--
+		r.removeUser(f, i)
 		if r.nActive == 0 {
 			r.comp.removeResource(r)
 			r.comp = nil
@@ -319,7 +452,7 @@ func (n *Network) Start(f *Flow) {
 	if f.Volume < 0 {
 		panic("simnet: negative flow volume")
 	}
-	if len(f.Usage) == 0 && f.Cap <= 0 && f.Volume > 0 {
+	if len(f.Usage) == 0 && len(f.UsageList) == 0 && f.Cap <= 0 && f.Volume > 0 {
 		panic("simnet: flow with no resource usage and no cap cannot be paced")
 	}
 	if f.inNet {
@@ -361,7 +494,7 @@ func (n *Network) Start(f *Flow) {
 			if frag.mark {
 				continue
 			}
-			n.rebalanceComp(frag, now)
+			n.rebalanceComp(frag, now, nil)
 		}
 		for i := range f.uses {
 			if rc := f.uses[i].res.comp; rc != nil {
@@ -396,7 +529,7 @@ func (n *Network) Start(f *Flow) {
 	n.nActive++
 	n.retain(f, target)
 	f.inNet = true
-	n.rebalanceComp(target, now)
+	n.rebalanceComp(target, now, nil)
 }
 
 // collectStartComps gathers the distinct live components of f's resources
@@ -440,7 +573,7 @@ func (n *Network) Abort(f *Flow) {
 	if len(c.flows) == 0 {
 		n.dropComp(c)
 	} else {
-		n.rebalanceComp(c, now)
+		n.rebalanceComp(c, now, f)
 	}
 	if f.OnAbort != nil {
 		f.OnAbort(now)
@@ -485,57 +618,42 @@ func (n *Network) FlowsUsing(r *Resource) []*Flow {
 
 // AppendFlowsUsing appends the in-flight flows touching r to dst (which may
 // be nil or a recycled buffer) and returns the extended slice. Output is in
-// deterministic (Name, seq) order. Every flow touching r lives in r's
-// component, so the scan is component-scoped, not a walk of all flows.
+// deterministic (Name, seq) order. The per-resource user index makes this
+// O(matches log matches): no component scan at all. The index itself is
+// unordered, so the appended region is sorted here.
 func (n *Network) AppendFlowsUsing(dst []*Flow, r *Resource) []*Flow {
-	if r.comp == nil {
-		return dst
+	base := len(dst)
+	for i := range r.users {
+		dst = append(dst, r.users[i].f)
 	}
-	for _, f := range r.comp.flows {
-		if f.usesRes(r) {
-			dst = append(dst, f)
-		}
-	}
+	slices.SortFunc(dst[base:], flowCmp)
 	return dst
 }
 
 // AppendFlowsUsingAny appends the in-flight flows touching any resource in
 // rs to dst, each flow at most once, in deterministic (Name, seq) order.
 // The fault injector uses it to collect every flow riding a failed host's
-// resources in one pass without a dedup map. Matches are gathered from the
-// distinct components of rs and then ordered across components, preserving
-// the order the historical whole-network scan produced.
+// resources in one pass without a dedup map. Matches come straight from
+// the per-resource user indices; the appended region is sorted and
+// de-duplicated by identity, which the strict (Name, seq) total order
+// makes adjacent.
 func (n *Network) AppendFlowsUsingAny(dst []*Flow, rs ...*Resource) []*Flow {
 	base := len(dst)
 	for _, r := range rs {
-		c := r.comp
-		if c == nil || c.mark {
+		for i := range r.users {
+			dst = append(dst, r.users[i].f)
+		}
+	}
+	slices.SortFunc(dst[base:], flowCmp)
+	k := base
+	for i := base; i < len(dst); i++ {
+		if i > base && dst[i] == dst[k-1] {
 			continue
 		}
-		c.mark = true
-		for _, f := range c.flows {
-			for _, rr := range rs {
-				if f.usesRes(rr) {
-					dst = append(dst, f)
-					break
-				}
-			}
-		}
+		dst[k] = dst[i]
+		k++
 	}
-	for _, r := range rs {
-		if r.comp != nil {
-			r.comp.mark = false
-		}
-	}
-	// Insertion sort the appended region into (Name, seq) order: each
-	// component contributed a sorted run, so passes are short, and the
-	// strict total order makes the result independent of component order.
-	for i := base + 1; i < len(dst); i++ {
-		for j := i; j > base && flowBefore(dst[j], dst[j-1]); j-- {
-			dst[j], dst[j-1] = dst[j-1], dst[j]
-		}
-	}
-	return dst
+	return dst[:k]
 }
 
 // settleComp integrates transferred volume for every flow of c since that
@@ -584,7 +702,13 @@ func (n *Network) settleRescheduleAll() {
 // component are not touched at all. In steady state (buffers warmed up,
 // every flow already carrying its completion event) this performs zero
 // heap allocations.
-func (n *Network) rebalanceComp(c *component, now simkernel.Time) {
+//
+// removed, when non-nil, is a flow just detached from c whose departure
+// is the only change since c's last solve; the rebalance then tries the
+// warm-start path, replaying the recorded freeze trajectory's unaffected
+// prefix instead of re-solving from scratch. Either way the resulting
+// rates are bit-identical to a cold solve.
+func (n *Network) rebalanceComp(c *component, now simkernel.Time, removed *Flow) {
 	if len(c.flows) == 0 {
 		return
 	}
@@ -597,7 +721,26 @@ func (n *Network) rebalanceComp(c *component, now simkernel.Time) {
 			n.oldRates[i] = f.rate
 		}
 	}
-	solve(c.flows, c.resources)
+	n.sv.indexed = true
+	done := false
+	if removed != nil && c.traj.valid {
+		done = n.sv.warmSolve(c.flows, c.resources, c.capped, &c.traj, removed)
+	}
+	// Whatever happens next, the last recorded trajectory no longer
+	// matches the component: a warm start consumed it, and a cold solve
+	// either re-records it or (below the size cutoff) leaves it stale.
+	c.traj.valid = false
+	if !done {
+		rec := &c.traj
+		if len(c.flows) < recordMinFlows {
+			// Recording exists to amortize big solves across removals;
+			// on small components the per-pass load snapshots cost more
+			// than a cold re-solve, so skip both recording and (by the
+			// invalidation above) any future warm start.
+			rec = nil
+		}
+		n.sv.solve(c.flows, c.resources, c.capped, rec)
+	}
 	for i, f := range c.flows {
 		n.scheduleCompletion(f, now)
 		if n.observer != nil && f.rate != n.oldRates[i] {
@@ -650,23 +793,23 @@ func (n *Network) complete(f *Flow) {
 	if len(c.flows) == 0 {
 		n.dropComp(c)
 	} else {
-		n.rebalanceComp(c, now)
+		n.rebalanceComp(c, now, f)
 	}
 	if f.OnComplete != nil {
 		f.OnComplete(now)
 	}
 }
 
-// solve assigns weighted max-min fair rates to the flows in place. The
-// resources slice must contain every resource touched by the flows with
-// zeroed registration-order duplicates removed; the Network passes one
-// component's incrementally maintained registry, FairShare builds one ad
-// hoc. The waterfill reads only the flows and resources it is given, so
+// solveReference is the textbook waterfill: every pass rescans every
+// flow and every resource. It is kept verbatim as the oracle the
+// incremental solver (solver.go) is differentially tested against — the
+// fuzz harness re-solves components with it and demands 0-ULP agreement.
+// The resources slice must contain every resource touched by the flows;
+// the waterfill reads only the flows and resources it is given, so
 // solving a component in isolation performs bit-for-bit the same
 // floating-point operations as solving it as part of a larger disjoint
-// union whose fill trajectory it leads. Exposed via FairShare for direct
-// testing.
-func solve(flows []*Flow, resources []*Resource) {
+// union whose fill trajectory it leads.
+func solveReference(flows []*Flow, resources []*Resource) {
 	for _, f := range flows {
 		f.frozen = false
 		f.rate = 0

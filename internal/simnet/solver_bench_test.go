@@ -72,6 +72,82 @@ func BenchmarkSolve8Flows(b *testing.B)   { benchmarkSolve(b, 8) }
 func BenchmarkSolve64Flows(b *testing.B)  { benchmarkSolve(b, 64) }
 func BenchmarkSolve256Flows(b *testing.B) { benchmarkSolve(b, 256) }
 
+// singleCompNet builds the campaign shape at scale: one connected
+// component where every flow rides a shared client-stack ramp plus its
+// own client NIC and its own primary stripe target (the per-client and
+// per-op resources the beegfs layer gives every process), the bulk of
+// the flows are pinned by a low client-side cap, and a straggler
+// minority with distinct higher caps cascades through roomy per-group
+// resources. The solve therefore has a long pass tail in which only a
+// few flows — and only their resources — remain live: exactly where
+// the incremental solver's compacted flow and candidate lists beat the
+// reference's full per-pass rescans of every flow and every (mostly
+// dead) per-client resource.
+func singleCompNet(nFlows int) (*Network, *component) {
+	src := rng.New(11)
+	net := New(simkernel.New())
+	shared := net.AddResource("ramp", 1e9)
+	groups := make([]*Resource, 12)
+	for i := range groups {
+		groups[i] = net.AddResource(fmt.Sprintf("g%d", i), 20000+src.Float64()*500)
+	}
+	for i := 0; i < nFlows; i++ {
+		nic := net.AddResource(fmt.Sprintf("nic%04d", i), 1e5)
+		tgt := net.AddResource(fmt.Sprintf("tgt%04d", i), 5e4)
+		f := &Flow{
+			Name:   fmt.Sprintf("f%04d", i),
+			Volume: 1e15,
+			Usage: map[*Resource]float64{
+				shared:       0.125,
+				nic:          1,
+				tgt:          0.5 + src.Float64()*0.5,
+				groups[i%12]: 0.25 + src.Float64()*0.75,
+			},
+		}
+		if i%8 != 0 {
+			f.Cap = 2
+		} else {
+			f.Cap = 50 + float64(i)*0.25
+		}
+		net.Start(f)
+	}
+	return net, net.comps[0]
+}
+
+// BenchmarkSolveSingleComponent measures one cold waterfill of the
+// single-component campaign topology with the incremental solver — the
+// work a flow start or (failed-warm-start) completion pays inside the
+// component that component scoping alone cannot reduce.
+func BenchmarkSolveSingleComponent(b *testing.B) {
+	for _, n := range []int{256, 1024} {
+		b.Run(fmt.Sprint(n), func(b *testing.B) {
+			net, c := singleCompNet(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net.sv.solve(c.flows, c.resources, c.capped, nil)
+			}
+		})
+	}
+}
+
+// BenchmarkSolveSingleComponentReference is the identical solve through
+// the retained reference waterfill (full per-pass rescans). The
+// SingleComponent/SingleComponentReference ratio is the incremental
+// solver's speedup on the shapes the campaigns actually produce.
+func BenchmarkSolveSingleComponentReference(b *testing.B) {
+	for _, n := range []int{256, 1024} {
+		b.Run(fmt.Sprint(n), func(b *testing.B) {
+			_, c := singleCompNet(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				solveReference(c.flows, c.resources)
+			}
+		})
+	}
+}
+
 // multiAppNet builds nApps disjoint "applications", each striping 8
 // long-running flows over its own 5 resources — the multi-application
 // interference shape of Figs. 10–13 with fully disjoint OST sets. With

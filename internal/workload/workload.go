@@ -231,52 +231,68 @@ type queued struct {
 	job Job
 }
 
-// nodePool hands out disjoint client slices.
+// nodePool hands out disjoint client slices. Jobs always receive the
+// lowest-index free nodes (in index order): allocation order feeds which
+// client NICs a job rides, so it must stay deterministic and identical
+// to the historical scan.
 type nodePool struct {
 	clients []*beegfs.Client
 	inUse   []bool
+	// index maps a client back to its pool slot, so release needs no
+	// per-completion set allocation and no O(total) sweep.
+	index map[*beegfs.Client]int
+	// nFree counts free slots so the scheduler's admission check
+	// (free()) is O(1); the trace loop calls it once per queued job per
+	// completion event.
+	nFree int
 }
 
 func newNodePool(dep *cluster.Deployment, total int) *nodePool {
-	return &nodePool{clients: dep.Nodes(total), inUse: make([]bool, total)}
+	clients := dep.Nodes(total)
+	index := make(map[*beegfs.Client]int, total)
+	for i, c := range clients {
+		index[c] = i
+	}
+	return &nodePool{
+		clients: clients,
+		inUse:   make([]bool, total),
+		index:   index,
+		nFree:   total,
+	}
 }
 
-func (p *nodePool) free() int {
-	n := 0
-	for _, u := range p.inUse {
-		if !u {
-			n++
-		}
-	}
-	return n
-}
+func (p *nodePool) free() int { return p.nFree }
 
 func (p *nodePool) acquire(n int) ([]*beegfs.Client, bool) {
-	var out []*beegfs.Client
-	var idx []int
+	if n > p.nFree {
+		return nil, false
+	}
+	out := make([]*beegfs.Client, 0, n)
 	for i, u := range p.inUse {
 		if !u {
+			p.inUse[i] = true
 			out = append(out, p.clients[i])
-			idx = append(idx, i)
 			if len(out) == n {
-				for _, j := range idx {
-					p.inUse[j] = true
-				}
+				p.nFree -= n
 				return out, true
 			}
 		}
+	}
+	// Unreachable while nFree matches inUse; undo the partial marks so a
+	// drifted counter fails closed instead of leaking nodes.
+	for _, c := range out {
+		p.inUse[p.index[c]] = false
 	}
 	return nil, false
 }
 
 func (p *nodePool) release(nodes []*beegfs.Client) {
-	set := make(map[*beegfs.Client]bool, len(nodes))
 	for _, c := range nodes {
-		set[c] = true
-	}
-	for i, c := range p.clients {
-		if set[c] {
-			p.inUse[i] = false
+		i, ok := p.index[c]
+		if !ok || !p.inUse[i] {
+			continue
 		}
+		p.inUse[i] = false
+		p.nFree++
 	}
 }

@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// The pool must hand out the lowest-index free nodes in order (allocation
+// order decides which client NICs a job rides, so it is part of the
+// deterministic replay contract) while keeping its free-node counter
+// consistent through acquire/release churn.
+func TestNodePoolAccounting(t *testing.T) {
+	dep, err := cluster.PlaFRIM(cluster.Scenario1Ethernet).Deploy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := newNodePool(dep, 8)
+	if p.free() != 8 {
+		t.Fatalf("fresh pool free = %d, want 8", p.free())
+	}
+	a, ok := p.acquire(3)
+	if !ok || len(a) != 3 || p.free() != 5 {
+		t.Fatalf("acquire(3): ok=%v len=%d free=%d", ok, len(a), p.free())
+	}
+	for i, c := range a {
+		if c != p.clients[i] {
+			t.Fatalf("acquire handed out node %d out of order", i)
+		}
+	}
+	b, ok := p.acquire(5)
+	if !ok || p.free() != 0 {
+		t.Fatalf("acquire(5): ok=%v free=%d", ok, p.free())
+	}
+	if _, ok := p.acquire(1); ok {
+		t.Fatal("acquire succeeded on an empty pool")
+	}
+	p.release(a)
+	if p.free() != 3 {
+		t.Fatalf("free after release = %d, want 3", p.free())
+	}
+	// Releasing the same slice twice must not inflate the counter.
+	p.release(a)
+	if p.free() != 3 {
+		t.Fatalf("double release inflated free to %d", p.free())
+	}
+	// The freed low-index nodes come back first.
+	c, ok := p.acquire(2)
+	if !ok || c[0] != p.clients[0] || c[1] != p.clients[1] {
+		t.Fatal("freed low-index nodes not reused first")
+	}
+	p.release(b)
+	p.release(c)
+	if p.free() != 8 {
+		t.Fatalf("drained pool free = %d, want 8", p.free())
+	}
+}
+
+// release runs once per job completion inside the event loop; it must not
+// allocate (the historical implementation built a set per call).
+func TestNodePoolReleaseNoAllocs(t *testing.T) {
+	dep, err := cluster.PlaFRIM(cluster.Scenario1Ethernet).Deploy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := newNodePool(dep, 16)
+	nodes, _ := p.acquire(8)
+	allocs := testing.AllocsPerRun(100, func() {
+		p.release(nodes)
+		nodes, _ = p.acquire(8)
+	})
+	if allocs > 1 { // acquire's result slice is the only permitted allocation
+		t.Errorf("release+acquire allocates %.1f times per cycle, want <= 1", allocs)
+	}
+}
+
+func benchTrace(nJobs int) []Job {
+	jobs := make([]Job, nJobs)
+	for i := range jobs {
+		jobs[i] = Job{
+			ID:          fmt.Sprintf("j%03d", i),
+			Arrival:     float64(i) * 0.4,
+			Nodes:       2 + i%4,
+			PPN:         8,
+			StripeCount: 4,
+			TotalGiB:    2,
+		}
+	}
+	return jobs
+}
+
+// BenchmarkReplay replays a 24-job trace end to end — deployment build,
+// FCFS scheduling, every flow solve — the workload-level cost the
+// campaigns pay per repetition.
+func BenchmarkReplay(b *testing.B) {
+	platform := cluster.PlaFRIM(cluster.Scenario1Ethernet)
+	jobs := benchTrace(24)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Replay(platform, 12, jobs, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
