@@ -5,12 +5,19 @@
 // Usage:
 //
 //	figures [-fig all|2a|2b|4a|4b|5a|5b|6a|6b|8|10|11|12|13|lessons|extnn|extread|policy|resilience] [-reps N] [-seed S] [-out DIR] [-fast] [-workers N]
-//	        [-cpuprofile FILE] [-memprofile FILE]
+//	        [-cpuprofile FILE] [-memprofile FILE] [-metrics FILE.json] [-trace FILE.json] [-utilcsv FILE.csv]
 //
 // The default -reps 100 matches the paper's protocol; -fast shortens the
 // (virtual-time) inter-block waits. -workers bounds how many repetitions
 // simulate concurrently (0 = one per CPU; results are bit-identical for
 // every value). -cpuprofile/-memprofile write pprof profiles of the run.
+//
+// -metrics writes the run's merged observability counters as JSON and a
+// summary table to stderr; -trace records one repetition's event timeline
+// as Chrome trace-event JSON (load it at https://ui.perfetto.dev);
+// -utilcsv writes the traced repetition's per-OST utilization timeline.
+// None of the three change the simulated numbers: out/ CSVs are
+// byte-identical with or without them.
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/stats"
 )
@@ -39,6 +47,9 @@ func main() {
 		workers = flag.Int("workers", 0, "concurrent repetitions (0 = one per CPU, 1 = serial; same results either way)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write an allocation profile to this file at exit")
+		metrics = flag.String("metrics", "", "write merged observability metrics to this JSON file (plus a summary table on stderr)")
+		trace   = flag.String("trace", "", "write one repetition's Chrome trace-event JSON to this file (perfetto-loadable)")
+		utilCSV = flag.String("utilcsv", "", "write the traced repetition's per-OST utilization timeline to this CSV file (requires -trace)")
 	)
 	flag.Parse()
 	if *cpuProf != "" {
@@ -54,7 +65,17 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	err := run(*fig, experiments.Options{Reps: *reps, Seed: *seed, FastProtocol: *fast, Workers: *workers}, *out)
+	opts := experiments.Options{Reps: *reps, Seed: *seed, FastProtocol: *fast, Workers: *workers}
+	if *metrics != "" {
+		opts.Metrics = obs.NewRegistry()
+	}
+	if *trace != "" || *utilCSV != "" {
+		opts.Tracer = obs.NewTracer()
+	}
+	err := run(*fig, opts, *out)
+	if err == nil {
+		err = writeObservability(opts, *metrics, *trace, *utilCSV)
+	}
 	if *memProf != "" {
 		f, merr := os.Create(*memProf)
 		if merr != nil {
@@ -122,6 +143,41 @@ func run(fig string, opts experiments.Options, outDir string) error {
 }
 
 var fig13done bool
+
+// writeObservability exports the run's metrics and trace artifacts and
+// prints the metrics summary table to stderr.
+func writeObservability(opts experiments.Options, metricsPath, tracePath, utilPath string) error {
+	writeTo := func(path string, write func(*os.File) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if metricsPath != "" {
+		if err := writeTo(metricsPath, func(f *os.File) error { return opts.Metrics.WriteJSON(f) }); err != nil {
+			return fmt.Errorf("writing metrics: %w", err)
+		}
+		fmt.Fprint(os.Stderr, opts.Metrics.Summary())
+	}
+	if tracePath != "" {
+		if err := writeTo(tracePath, func(f *os.File) error { return opts.Tracer.WriteJSON(f) }); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d events in %s (load at https://ui.perfetto.dev)\n",
+			opts.Tracer.Events(), tracePath)
+	}
+	if utilPath != "" {
+		if err := writeTo(utilPath, func(f *os.File) error { return opts.Tracer.WriteUtilCSV(f, "ost") }); err != nil {
+			return fmt.Errorf("writing utilization CSV: %w", err)
+		}
+	}
+	return nil
+}
 
 func emit(t *report.Table, outDir, name string) error {
 	fmt.Println(t.String())

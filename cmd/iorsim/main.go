@@ -26,6 +26,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/ior"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
@@ -47,15 +48,17 @@ func main() {
 		count    = flag.Int("count", 0, "stripe count (0 = directory default)")
 		seed     = flag.Uint64("seed", 1, "seed")
 		workers  = flag.Int("workers", 0, "concurrent repetitions (0 = one per CPU, 1 = serial; same results either way)")
+		metrics  = flag.String("metrics", "", "write merged observability metrics to this JSON file (plus a summary table on stderr)")
+		trace    = flag.String("trace", "", "write one repetition's Chrome trace-event JSON to this file (perfetto-loadable)")
 	)
 	flag.Parse()
-	if err := run(*api, *bStr, *tStr, *segments, *fpp, *write, *read, *reps, *out, *scenario, *nodes, *ppn, *count, *seed, *workers); err != nil {
+	if err := run(*api, *bStr, *tStr, *segments, *fpp, *write, *read, *reps, *out, *scenario, *nodes, *ppn, *count, *seed, *workers, *metrics, *trace); err != nil {
 		fmt.Fprintln(os.Stderr, "iorsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(api, bStr, tStr string, segments int, fpp, write, read bool, reps int, out string, scenario, nodes, ppn, count int, seed uint64, workers int) error {
+func run(api, bStr, tStr string, segments int, fpp, write, read bool, reps int, out string, scenario, nodes, ppn, count int, seed uint64, workers int, metricsPath, tracePath string) error {
 	if !strings.EqualFold(api, "POSIX") {
 		return fmt.Errorf("only -a POSIX is supported (the paper's configuration)")
 	}
@@ -124,6 +127,14 @@ func run(api, bStr, tStr string, segments int, fpp, write, read bool, reps int, 
 	if fpp {
 		files = nodes * ppn
 	}
+	var reg *obs.Registry
+	if metricsPath != "" {
+		reg = obs.NewRegistry()
+	}
+	var tracer *obs.Tracer
+	if tracePath != "" {
+		tracer = obs.NewTracer()
+	}
 	results := make([]ior.Result, reps)
 	runRep := func(rep int) error {
 		repSrc := src.Split(uint64(rep))
@@ -135,6 +146,13 @@ func run(api, bStr, tStr string, segments int, fpp, write, read bool, reps int, 
 		if err != nil {
 			return err
 		}
+		var st *cluster.RunStats
+		if reg != nil {
+			st = dep.EnableStats()
+		}
+		if tracer.Claim() {
+			dep.AttachTracer(tracer)
+		}
 		if cc, ok := p.FS.Chooser.(beegfs.CursorChooser); ok {
 			cc.SetCursor(rep * files * effCount % nTargets)
 		}
@@ -143,10 +161,14 @@ func run(api, bStr, tStr string, segments int, fpp, write, read bool, reps int, 
 		if err != nil {
 			return err
 		}
+		st.FlushTo(reg)
 		results[rep] = res
 		return nil
 	}
 	if err := forEachRep(reps, workers, runRep); err != nil {
+		return err
+	}
+	if err := writeObservability(reg, tracer, metricsPath, tracePath); err != nil {
 		return err
 	}
 
@@ -221,6 +243,41 @@ func forEachRep(n, workers int, fn func(int) error) error {
 	wg.Wait()
 	if m := minErr.Load(); m < int64(n) {
 		return errs[m]
+	}
+	return nil
+}
+
+// writeObservability exports the run's metrics JSON (plus a stderr summary
+// table) and the traced repetition's Chrome trace-event JSON.
+func writeObservability(reg *obs.Registry, tracer *obs.Tracer, metricsPath, tracePath string) error {
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := reg.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprint(os.Stderr, reg.Summary())
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := tracer.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d events in %s (load at https://ui.perfetto.dev)\n",
+			tracer.Events(), tracePath)
 	}
 	return nil
 }

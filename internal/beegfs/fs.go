@@ -153,6 +153,11 @@ type FileSystem struct {
 	// runSeq numbers benchmark runs (ior path suffixes) per deployment,
 	// so concurrent deployments never share a counter.
 	runSeq int
+	// stats, when non-nil, receives activity counts (SetStats);
+	// opObserver, when non-nil, is fired at every op's terminal point
+	// (SetOpObserver).
+	stats      *Stats
+	opObserver func(ev OpEvent)
 }
 
 // NextRunSeq returns a fresh 1-based run number for this deployment. The
@@ -235,6 +240,11 @@ func (fs *FileSystem) noteClientOps(c *Client, delta int) {
 	switch {
 	case before == 0 && after > 0:
 		fs.activeClients++
+		if fs.stats != nil {
+			if n := uint64(fs.activeClients); n > fs.stats.ActiveClientsHighWater {
+				fs.stats.ActiveClientsHighWater = n
+			}
+		}
 	case before > 0 && after == 0:
 		fs.activeClients--
 	default:
@@ -444,6 +454,9 @@ type ioPlan struct {
 	maxEnd   int64
 	overhead float64
 	baseName string
+	// startAt is when the op was first issued; carried here (not on the
+	// op) because a WriteOp may be reused across sequential ops.
+	startAt simkernel.Time
 }
 
 func (fs *FileSystem) startIO(op *WriteOp, read bool) (*simnet.Flow, error) {
@@ -469,7 +482,7 @@ func (fs *FileSystem) startIO(op *WriteOp, read bool) (*simnet.Flow, error) {
 	} else if err := fs.precheckCapacity(op.File, regions); err != nil {
 		return nil, err
 	}
-	plan := getPlan(op.File.Pattern.Count)
+	plan := fs.getPlan(op.File.Pattern.Count)
 	dist := plan.dist
 	var totalLen int64
 	for _, reg := range regions {
@@ -507,6 +520,22 @@ func (fs *FileSystem) startIO(op *WriteOp, read bool) (*simnet.Flow, error) {
 	plan.maxEnd = maxEnd
 	plan.overhead = float64(nTransfers) * fs.cfg.TransferLatency / float64(op.procs())
 	plan.baseName = fmt.Sprintf("%s/%s@%d", app, op.File.Path, regions[0].Offset)
+	plan.startAt = fs.sim.Now()
+	if fs.stats != nil {
+		if read {
+			fs.stats.ReadOps++
+		} else {
+			fs.stats.WriteOps++
+		}
+		fs.stats.OpMiB.Observe(uint64(totalLen / MiB))
+		width := 0
+		for _, b := range dist {
+			if b != 0 {
+				width++
+			}
+		}
+		fs.stats.StripeWidth.Observe(uint64(width))
+	}
 	flow, err := fs.issue(plan, float64(totalLen)/float64(MiB))
 	if err != nil {
 		var unavail *UnavailableError
@@ -529,10 +558,15 @@ func (fs *FileSystem) startIO(op *WriteOp, read bool) (*simnet.Flow, error) {
 // before reuse.
 var planPool sync.Pool
 
-func getPlan(stripes int) *ioPlan {
+func (fs *FileSystem) getPlan(stripes int) *ioPlan {
 	pl, _ := planPool.Get().(*ioPlan)
 	if pl == nil {
 		pl = &ioPlan{}
+		if fs.stats != nil {
+			fs.stats.PlanPoolMisses++
+		}
+	} else if fs.stats != nil {
+		fs.stats.PlanPoolHits++
 	}
 	if cap(pl.dist) < stripes {
 		pl.dist = make([]int64, stripes)
@@ -583,6 +617,11 @@ func (fs *FileSystem) getAttempt() *ioAttempt {
 		a.finishFn = a.finish
 		a.flow.OnComplete = a.onComplete
 		a.flow.OnAbort = a.onAbort
+		if fs.stats != nil {
+			fs.stats.AttemptPoolMisses++
+		}
+	} else if fs.stats != nil {
+		fs.stats.AttemptPoolHits++
 	}
 	a.fs = fs
 	return a
@@ -626,6 +665,32 @@ func (a *ioAttempt) onComplete(at simkernel.Time) {
 	a.finish()
 }
 
+// attributeBytes credits volMiB of a write attempt's transferred volume
+// to the stats' per-OST byte attribution, split by the plan's striping
+// distribution; mirror copies count on their own target. Same frac
+// arithmetic as noteDegradedWrite.
+func (fs *FileSystem) attributeBytes(plan *ioPlan, primaries, secondaries []*storagesim.Target, volMiB float64) {
+	if fs.stats == nil || plan.read || plan.totalLen == 0 || volMiB <= 0 {
+		return
+	}
+	frac := volMiB * float64(MiB) / float64(plan.totalLen)
+	if frac > 1 {
+		frac = 1
+	}
+	for i, b := range plan.dist {
+		if b == 0 {
+			continue
+		}
+		bytes := uint64(frac * float64(b))
+		if i < len(primaries) && primaries[i] != nil {
+			fs.stats.BytesByOST[primaries[i].ID] += bytes
+		}
+		if i < len(secondaries) && secondaries[i] != nil {
+			fs.stats.BytesByOST[secondaries[i].ID] += bytes
+		}
+	}
+}
+
 // finish completes the op: releases sessions, accounts the written bytes
 // (including degraded-mirror bookkeeping), recycles the attempt and
 // delivers the caller's completion callback.
@@ -640,7 +705,15 @@ func (a *ioAttempt) finish() {
 			fs.accountStorage(op.File)
 		}
 	}
+	fs.attributeBytes(plan, a.primaries, a.secondaries, a.volMiB)
 	fs.putAttempt(a)
+	if fs.opObserver != nil {
+		fs.opObserver(OpEvent{
+			Client: op.Client.Name, App: plan.app, Path: op.File.Path,
+			Read: plan.read, Start: plan.startAt, End: fs.sim.Now(),
+			MiB: float64(plan.totalLen) / float64(MiB), Attempts: op.attempts,
+		})
+	}
 	putPlan(plan)
 	if op.OnComplete != nil {
 		op.OnComplete(fs.sim.Now())
@@ -653,6 +726,8 @@ func (a *ioAttempt) onAbort(at simkernel.Time) {
 	fs, plan := a.fs, a.plan
 	a.release()
 	rem := a.flow.Remaining()
+	// The bytes this attempt did move before the abort stay written.
+	fs.attributeBytes(plan, a.primaries, a.secondaries, a.volMiB-rem)
 	fs.putAttempt(a)
 	fs.retryLater(plan, rem)
 }
@@ -790,6 +865,9 @@ func (fs *FileSystem) selectReplicas(f *File, read bool, dist []int64, pBuf, sBu
 				primaries[i] = t
 			case sOK:
 				primaries[i] = f.mirrors[i]
+				if fs.stats != nil {
+					fs.stats.ReadFailovers++
+				}
 			case carries:
 				return primaries, secondaries, &UnavailableError{Path: f.Path, Stripe: i, Read: true}
 			}
@@ -840,6 +918,9 @@ func (fs *FileSystem) retryLater(plan *ioPlan, remainingMiB float64) {
 		return
 	}
 	op.attempts++
+	if fs.stats != nil {
+		fs.stats.RetriesScheduled++
+	}
 	fs.sim.After(fs.retryDelay(op.attempts), func() {
 		if _, err := fs.issue(plan, remainingMiB); err != nil {
 			fs.retryLater(plan, remainingMiB)
@@ -856,8 +937,20 @@ func (fs *FileSystem) failOp(plan *ioPlan, reason error) {
 	if plan.read {
 		kind = "read"
 	}
+	err := &IOFailedError{Path: op.File.Path, Op: kind, Attempts: op.attempts, Reason: reason}
+	if fs.stats != nil {
+		fs.stats.FailedOps++
+	}
+	if fs.opObserver != nil {
+		fs.opObserver(OpEvent{
+			Client: op.Client.Name, App: plan.app, Path: op.File.Path,
+			Read: plan.read, Start: plan.startAt, End: fs.sim.Now(),
+			MiB: float64(plan.totalLen) / float64(MiB), Attempts: op.attempts,
+			Err: err,
+		})
+	}
 	if op.OnError != nil {
-		op.OnError(&IOFailedError{Path: op.File.Path, Op: kind, Attempts: op.attempts, Reason: reason})
+		op.OnError(err)
 	}
 	putPlan(plan)
 }
@@ -900,6 +993,9 @@ func (fs *FileSystem) noteDegradedWrite(f *File, plan *ioPlan, primaries, second
 		}
 	}
 	if dirtied {
+		if fs.stats != nil {
+			fs.stats.DegradedWrites++
+		}
 		fs.dirty[f.Path] = f
 		fs.startResync(f)
 	}
@@ -1014,6 +1110,9 @@ func (fs *FileSystem) startResync(f *File) {
 		// A fault hit mid-resync; the dirt stays recorded and the next
 		// recovery event restarts the copy.
 		release()
+	}
+	if fs.stats != nil {
+		fs.stats.ResyncsStarted++
 	}
 	fs.net.Start(flow)
 }

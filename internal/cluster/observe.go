@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/beegfs"
+	"repro/internal/obs"
+	"repro/internal/simkernel"
+	"repro/internal/simnet"
+)
+
+// RunStats bundles one repetition's per-layer activity counters. The
+// layers update their plain structs behind nil checks while the
+// simulation runs single-goroutine; FlushTo merges the totals into a
+// shared registry afterwards. Because every merged quantity is a uint64
+// sum, max or histogram-bucket addition, the merge is order-independent —
+// parallel campaign workers flushing in any order produce the same
+// registry, which keeps the exported metrics JSON deterministic.
+type RunStats struct {
+	Kernel simkernel.Stats
+	Net    simnet.Stats
+	FS     beegfs.Stats
+}
+
+// EnableStats attaches fresh per-layer counters to the deployment and
+// returns them. Call once per repetition, before the workload runs.
+func (d *Deployment) EnableStats() *RunStats {
+	st := &RunStats{}
+	d.Sim.SetStats(&st.Kernel)
+	d.Net.SetStats(&st.Net)
+	d.FS.SetStats(&st.FS)
+	return st
+}
+
+// FlushTo merges the repetition's counters into reg under stable
+// "layer/metric" names. Nil receiver or registry is a no-op.
+func (st *RunStats) FlushTo(reg *obs.Registry) {
+	if st == nil || reg == nil {
+		return
+	}
+	k := &st.Kernel
+	reg.Add("simkernel/events_dispatched", k.Dispatched)
+	reg.Add("simkernel/events_scheduled", k.Scheduled)
+	reg.Add("simkernel/reschedules", k.Reschedules)
+	reg.Add("simkernel/requeues", k.Requeues)
+	reg.Add("simkernel/cancels", k.Cancels)
+	reg.Max("simkernel/heap_high_water", k.HeapHighWater)
+
+	n := &st.Net
+	for i, c := range n.Solves {
+		reg.Add("simnet/solves/"+simnet.SolveTrigger(i).String(), c)
+	}
+	reg.Add("simnet/waterfill_passes", n.Passes)
+	reg.MergeHist("simnet/freezes_per_pass", &n.FreezesPerPass)
+	reg.MergeHist("simnet/component_flows", &n.ComponentFlows)
+	reg.Add("simnet/warmstart_hits", n.WarmHits)
+	reg.Add("simnet/warmstart_misses", n.WarmMisses)
+	reg.Add("simnet/warmstart_replayed_passes", n.WarmReplayedPasses)
+
+	f := &st.FS
+	reg.Add("beegfs/write_ops", f.WriteOps)
+	reg.Add("beegfs/read_ops", f.ReadOps)
+	reg.MergeHist("beegfs/op_mib", &f.OpMiB)
+	reg.MergeHist("beegfs/stripe_width", &f.StripeWidth)
+	for id, b := range f.BytesByOST {
+		reg.Add(fmt.Sprintf("beegfs/ost/%d/bytes", id), b)
+	}
+	reg.Add("beegfs/retries_scheduled", f.RetriesScheduled)
+	reg.Add("beegfs/failed_ops", f.FailedOps)
+	reg.Add("beegfs/degraded_writes", f.DegradedWrites)
+	reg.Add("beegfs/read_failovers", f.ReadFailovers)
+	reg.Add("beegfs/resyncs_started", f.ResyncsStarted)
+	// sync.Pool hit rates depend on the host's GC and goroutine
+	// scheduling, not on the simulation; the runtime/ namespace keeps
+	// them out of the deterministic portion of the export.
+	reg.Add(obs.RuntimePrefix+"beegfs/plan_pool_hits", f.PlanPoolHits)
+	reg.Add(obs.RuntimePrefix+"beegfs/plan_pool_misses", f.PlanPoolMisses)
+	reg.Add(obs.RuntimePrefix+"beegfs/attempt_pool_hits", f.AttemptPoolHits)
+	reg.Add(obs.RuntimePrefix+"beegfs/attempt_pool_misses", f.AttemptPoolMisses)
+	reg.Max("beegfs/active_clients_high_water", f.ActiveClientsHighWater)
+}
+
+// AttachTracer wires the deployment's observer hooks to a tracer: solver
+// activity as instants on a "solver" track, post-solve OSS/OST loads as
+// counter samples (one perfetto counter track per resource — the per-OST
+// utilization timeline), and finished client ops as duration slices on
+// one track per compute node. Attach to at most one repetition per
+// tracer (Tracer.Claim arbitrates).
+func (d *Deployment) AttachTracer(t *obs.Tracer) {
+	d.Net.ObserveSolves(func(at simkernel.Time, info simnet.SolveInfo) {
+		t.Instant("solver", "solve/"+info.Trigger.String(), float64(at), map[string]any{
+			"flows":           info.Flows,
+			"resources":       info.Resources,
+			"live_passes":     info.LivePasses,
+			"warm_start":      info.WarmStart,
+			"replayed_passes": info.ReplayedPasses,
+		})
+	})
+	d.Net.ObserveResources(func(at simkernel.Time, r *simnet.Resource, load float64) {
+		// Server-side resources only: "ost<id>", "oss<h>/ctl", "oss<h>/nic".
+		if strings.HasPrefix(r.Name, "ost") || strings.HasPrefix(r.Name, "oss") {
+			t.Counter(r.Name, float64(at), load)
+		}
+	})
+	d.FS.SetOpObserver(func(ev beegfs.OpEvent) {
+		kind := "write"
+		if ev.Read {
+			kind = "read"
+		}
+		args := map[string]any{"app": ev.App, "mib": ev.MiB, "attempts": ev.Attempts}
+		if ev.Err != nil {
+			args["error"] = ev.Err.Error()
+			kind += "-failed"
+		}
+		t.Slice("client/"+ev.Client, kind+" "+ev.Path, float64(ev.Start), float64(ev.End), args)
+	})
+}
+
+// DetachObservers removes the tracer hooks installed by AttachTracer, so
+// a deployment reused for further repetitions stops recording.
+func (d *Deployment) DetachObservers() {
+	d.Net.ObserveSolves(nil)
+	d.Net.ObserveResources(nil)
+	d.FS.SetOpObserver(nil)
+}

@@ -48,8 +48,10 @@ func ExtNN(opts Options) ([]ExtNNRow, error) {
 		}
 		o := opts
 		o.Seed = opts.Seed*31 + uint64(gi*modes+mode)
-		recs, err := Campaign{Platform: p, Proto: o.protocol(), Workers: o.Workers}.Run(
-			[]Config{{Label: "x", Params: params}})
+		recs, err := Campaign{
+			Platform: p, Proto: o.protocol(), Workers: o.Workers,
+			Metrics: o.Metrics, Tracer: o.Tracer,
+		}.Run([]Config{{Label: "x", Params: params}})
 		if err != nil {
 			return err
 		}

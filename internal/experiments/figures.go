@@ -8,6 +8,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/ior"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -23,6 +24,11 @@ type Options struct {
 	// simulate concurrently. 0 selects runtime.NumCPU(); 1 is fully
 	// serial. Results are bit-identical for every value.
 	Workers int
+	// Metrics and Tracer, when non-nil, are threaded into every campaign
+	// a figure runs (Campaign.Metrics / Campaign.Tracer). The figure
+	// numbers are bit-identical with or without them.
+	Metrics *obs.Registry
+	Tracer  *obs.Tracer
 }
 
 func (o Options) protocol() Protocol {
@@ -37,7 +43,10 @@ func (o Options) protocol() Protocol {
 }
 
 func (o Options) campaign(scenario cluster.Scenario) Campaign {
-	return Campaign{Platform: cluster.PlaFRIM(scenario), Proto: o.protocol(), Workers: o.Workers}
+	return Campaign{
+		Platform: cluster.PlaFRIM(scenario), Proto: o.protocol(), Workers: o.Workers,
+		Metrics: o.Metrics, Tracer: o.Tracer,
+	}
 }
 
 func baseParams(nodes, ppn, count int, total int64) ior.Params {

@@ -10,12 +10,14 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/beegfs"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/ior"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/simkernel"
 )
@@ -169,6 +171,18 @@ type Campaign struct {
 	// the repetition's deployment and completed record (post-cleanup
 	// assertions, extra metrics). Same concurrency caveat as Setup.
 	Inspect func(*cluster.Deployment, *Record) error
+	// Metrics, when non-nil, enables per-repetition activity counters on
+	// every deployment and merges them into the registry after each
+	// repetition. Every merged quantity is order-independent, so the
+	// registry contents do not depend on Workers; only the host-process
+	// metrics (namespaced under obs.RuntimePrefix: wall-clock timings,
+	// pool hit rates) vary between runs. The simulated numbers are
+	// bit-identical with or without it.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, records one repetition's full event timeline
+	// (the first repetition to start claims it; with Workers <= 1 that is
+	// deterministically the first scheduled unit).
+	Tracer *obs.Tracer
 }
 
 // unit is one repetition of one configuration, annotated during phase 1
@@ -383,6 +397,19 @@ func (c Campaign) runUnit(cfg Config, u *unit) (Record, error) {
 	if err != nil {
 		return Record{}, err
 	}
+	// Observability: per-repetition counters merge into the shared
+	// registry at the end of the repetition; the tracer attaches to the
+	// first repetition that claims it.
+	var st *cluster.RunStats
+	var fstats faults.Stats
+	var wallStart time.Time
+	if c.Metrics != nil {
+		st = dep.EnableStats()
+		wallStart = time.Now()
+	}
+	if c.Tracer.Claim() {
+		dep.AttachTracer(c.Tracer)
+	}
 	if c.Setup != nil {
 		if err := c.Setup(dep); err != nil {
 			return Record{}, err
@@ -403,7 +430,11 @@ func (c Campaign) runUnit(cfg Config, u *unit) (Record, error) {
 		c.Interference.arm(dep, interSrc)
 	}
 	if len(c.Faults) > 0 {
-		if err := faults.NewInjector(dep.FS).Arm(c.Faults); err != nil {
+		inj := faults.NewInjector(dep.FS)
+		if st != nil {
+			inj.Stats = &fstats
+		}
+		if err := inj.Arm(c.Faults); err != nil {
 			return Record{}, err
 		}
 	}
@@ -497,6 +528,18 @@ func (c Campaign) runUnit(cfg Config, u *unit) (Record, error) {
 		if err := c.Inspect(dep, &rec); err != nil {
 			return Record{}, err
 		}
+	}
+	if st != nil {
+		st.FlushTo(c.Metrics)
+		c.Metrics.Add("faults/injections", fstats.Injections)
+		c.Metrics.Add("faults/recoveries", fstats.Recoveries)
+		c.Metrics.Add("faults/aborted_flows", fstats.AbortedFlows)
+		c.Metrics.Add("experiments/repetitions", 1)
+		// Wall-clock cost is inherently run-dependent; the prefix lets
+		// determinism checks filter it out.
+		us := uint64(time.Since(wallStart).Microseconds())
+		c.Metrics.Add(obs.WalltimePrefix+cfg.Label+"/rep_us", us)
+		c.Metrics.Observe(obs.WalltimePrefix+cfg.Label+"/rep_us_hist", us)
 	}
 	return rec, nil
 }

@@ -82,6 +82,8 @@ func ExtResilience(opts Options) ([]ExtResilienceRow, error) {
 			Proto:    o.protocol(),
 			Workers:  o.Workers,
 			Faults:   scheme.Schedule,
+			Metrics:  o.Metrics,
+			Tracer:   o.Tracer,
 		}.Run([]Config{{Label: scheme.Name, Params: baseParams(8, 8, 4, 32*beegfs.GiB)}})
 		if err != nil {
 			return fmt.Errorf("resilience %s/%s: %w", scen, scheme.Name, err)

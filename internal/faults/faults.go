@@ -124,9 +124,24 @@ func (s Schedule) Validate(fs *beegfs.FileSystem) error {
 	return nil
 }
 
+// Stats counts injector activity for the observability layer. Like the
+// other layers' Stats it is plain, nil-gated and side-effect-free: fault
+// events fire at scripted times regardless, counting them cannot change
+// what they do.
+type Stats struct {
+	// Injections and Recoveries count applied Fail / Recover events.
+	Injections uint64
+	Recoveries uint64
+	// AbortedFlows counts in-flight flows torn down by fault events.
+	AbortedFlows uint64
+}
+
 // Injector applies fault events to a deployment.
 type Injector struct {
 	fs *beegfs.FileSystem
+
+	// Stats, when non-nil, receives injector activity counts.
+	Stats *Stats
 
 	// doomed is a reusable buffer for the flows collected in
 	// abortFlowsOn, so repeated fault events allocate nothing.
@@ -156,6 +171,13 @@ func (inj *Injector) Arm(s Schedule) error {
 // Apply executes one event immediately. Events from Arm land here; tests
 // may also call it directly. Invalid events are a no-op (Arm validates).
 func (inj *Injector) Apply(e Event) {
+	if inj.Stats != nil {
+		if e.Action == Fail {
+			inj.Stats.Injections++
+		} else {
+			inj.Stats.Recoveries++
+		}
+	}
 	switch e.Kind {
 	case TargetFault:
 		inj.applyTarget(e)
@@ -233,6 +255,9 @@ func (inj *Injector) applyNIC(e Event) {
 func (inj *Injector) abortFlowsOn(resources ...*simnet.Resource) {
 	net := inj.fs.Network()
 	inj.doomed = net.AppendFlowsUsingAny(inj.doomed[:0], resources...)
+	if inj.Stats != nil {
+		inj.Stats.AbortedFlows += uint64(len(inj.doomed))
+	}
 	for _, f := range inj.doomed {
 		net.Abort(f)
 	}

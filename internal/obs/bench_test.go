@@ -1,0 +1,80 @@
+package obs
+
+import "testing"
+
+// benchStats mimics the per-deployment Stats structs the simulation layers
+// keep: plain fields behind one nil pointer check. The Disabled benchmark
+// measures what every instrumented hot-path site costs when observability
+// is off — it should be indistinguishable from the bare loop.
+type benchStats struct {
+	events    uint64
+	highWater uint64
+	hist      Log2Hist
+}
+
+var sinkU64 uint64
+
+func BenchmarkStatsSiteDisabled(b *testing.B) {
+	var st *benchStats
+	var depth uint64
+	for i := 0; i < b.N; i++ {
+		depth = uint64(i) & 1023
+		if st != nil {
+			st.events++
+			if depth > st.highWater {
+				st.highWater = depth
+			}
+		}
+	}
+	sinkU64 = depth
+}
+
+func BenchmarkStatsSiteEnabled(b *testing.B) {
+	st := &benchStats{}
+	var depth uint64
+	for i := 0; i < b.N; i++ {
+		depth = uint64(i) & 1023
+		if st != nil {
+			st.events++
+			if depth > st.highWater {
+				st.highWater = depth
+			}
+		}
+	}
+	sinkU64 = st.events + depth
+}
+
+func BenchmarkLog2HistObserve(b *testing.B) {
+	var h Log2Hist
+	for i := 0; i < b.N; i++ {
+		h.Observe(uint64(i))
+	}
+	sinkU64 = h.Sum
+}
+
+func BenchmarkRegistryAdd(b *testing.B) {
+	r := NewRegistry()
+	for i := 0; i < b.N; i++ {
+		r.Add("bench/counter", 1)
+	}
+	sinkU64 = r.Counter("bench/counter")
+}
+
+func BenchmarkRegistryAddNil(b *testing.B) {
+	var r *Registry
+	for i := 0; i < b.N; i++ {
+		r.Add("bench/counter", 1)
+	}
+}
+
+func BenchmarkRegistryMergeHist(b *testing.B) {
+	r := NewRegistry()
+	var h Log2Hist
+	for v := uint64(0); v < 1000; v++ {
+		h.Observe(v)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.MergeHist("bench/hist", &h)
+	}
+}

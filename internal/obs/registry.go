@@ -1,0 +1,288 @@
+// Package obs is the simulator's observability layer: a metrics registry
+// (counters, high-water gauges, log-2 histograms) and a structured event
+// tracer emitting Chrome trace-event JSON plus per-resource utilization
+// timelines.
+//
+// Design constraints, in order of importance:
+//
+//  1. Zero cost when disabled. The simulation packages never call into
+//     this package on their hot paths; they keep plain per-deployment
+//     Stats structs behind a single nil pointer check, and the glue layer
+//     (internal/cluster) merges those structs into a Registry after each
+//     repetition. Disabled instrumentation therefore compiles to one
+//     pointer comparison per instrumented site.
+//  2. Never perturb simulation numerics. Everything here is read-only
+//     with respect to simulation state: instruments count events and copy
+//     values; they draw no randomness and schedule nothing. out/ CSVs are
+//     byte-identical with observability on or off.
+//  3. Deterministic output. Exported JSON sorts every name; merging
+//     integer-valued observations into float64 or uint64 accumulators is
+//     exactly associative below 2^53, so parallel campaign workers
+//     flushing in any order produce identical files. The only inherently
+//     nondeterministic metrics — wall-clock timings, sync.Pool hit
+//     rates — are namespaced under "runtime/" so consumers (and the
+//     determinism tests) can filter them.
+//
+// This package is a leaf: it imports only the standard library, so every
+// simulation layer may depend on it without cycles.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// RuntimePrefix namespaces metrics that reflect the host process rather
+// than the simulation — wall-clock timings, sync.Pool hit rates — which
+// are the only registry contents not reproducible run to run. Determinism
+// checks compare registries with this prefix filtered out.
+const RuntimePrefix = "runtime/"
+
+// WalltimePrefix namespaces the wall-clock subset of the runtime metrics.
+const WalltimePrefix = RuntimePrefix + "walltime/"
+
+// Log2Buckets is the fixed bucket count of every histogram: bucket i
+// holds observations v with bits.Len64(v) == i, i.e. upper bounds
+// 0, 1, 3, 7, ..., 2^63-1. 65 buckets cover the full uint64 range, so
+// bucketing never branches on overflow.
+const Log2Buckets = 65
+
+// Log2Hist is a plain (single-goroutine) histogram with fixed log-2
+// buckets. Simulation packages embed it in their per-deployment Stats
+// structs; it is merged into a shared Registry via Registry.MergeHist
+// after the repetition finishes, so the hot path performs two integer
+// adds and one increment, with no atomics and no map lookups.
+type Log2Hist struct {
+	Count   uint64
+	Sum     uint64
+	Buckets [Log2Buckets]uint64
+}
+
+// Observe records one value.
+func (h *Log2Hist) Observe(v uint64) {
+	h.Count++
+	h.Sum += v
+	h.Buckets[bits.Len64(v)]++
+}
+
+// histogram is the Registry's accumulated (mergeable) histogram state.
+type histogram struct {
+	count   uint64
+	sum     uint64
+	buckets [Log2Buckets]uint64
+}
+
+// Registry accumulates named metrics from any number of repetitions (and
+// goroutines). It is not a hot-path structure: simulation packages record
+// into plain Stats structs and flush here once per repetition, so a mutex
+// around plain maps is both simple and cheap. All methods are safe on a
+// nil *Registry (they do nothing), so call sites do not need their own
+// enabled checks.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]uint64
+	maxima   map[string]uint64
+	hists    map[string]*histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]uint64),
+		maxima:   make(map[string]uint64),
+		hists:    make(map[string]*histogram),
+	}
+}
+
+// Add increments the named counter by v.
+func (r *Registry) Add(name string, v uint64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters[name] += v
+	r.mu.Unlock()
+}
+
+// Max raises the named high-water gauge to v if v exceeds it.
+func (r *Registry) Max(name string, v uint64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if v > r.maxima[name] {
+		r.maxima[name] = v
+	}
+	r.mu.Unlock()
+}
+
+// Observe records one value into the named histogram.
+func (r *Registry) Observe(name string, v uint64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	h := r.hists[name]
+	if h == nil {
+		h = &histogram{}
+		r.hists[name] = h
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bits.Len64(v)]++
+	r.mu.Unlock()
+}
+
+// MergeHist folds a repetition's plain histogram into the named registry
+// histogram. Bucket-wise uint64 addition is associative, so the merged
+// state does not depend on the order parallel workers flush in.
+func (r *Registry) MergeHist(name string, src *Log2Hist) {
+	if r == nil || src.Count == 0 {
+		return
+	}
+	r.mu.Lock()
+	h := r.hists[name]
+	if h == nil {
+		h = &histogram{}
+		r.hists[name] = h
+	}
+	h.count += src.Count
+	h.sum += src.Sum
+	for i, b := range src.Buckets {
+		h.buckets[i] += b
+	}
+	r.mu.Unlock()
+}
+
+// Counter returns the named counter's current value (0 if absent).
+func (r *Registry) Counter(name string) uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// histJSON is the exported form of one histogram: count, sum and the
+// non-empty buckets keyed by their inclusive upper bound.
+type histJSON struct {
+	Count   uint64            `json:"count"`
+	Sum     uint64            `json:"sum"`
+	Buckets map[string]uint64 `json:"buckets"`
+}
+
+// snapshot assembles the exportable view under the lock.
+func (r *Registry) snapshot() map[string]any {
+	counters := make(map[string]uint64, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	maxima := make(map[string]uint64, len(r.maxima))
+	for k, v := range r.maxima {
+		maxima[k] = v
+	}
+	hists := make(map[string]histJSON, len(r.hists))
+	for k, h := range r.hists {
+		buckets := make(map[string]uint64)
+		for i, b := range h.buckets {
+			if b == 0 {
+				continue
+			}
+			// Upper bound of bucket i: the largest v with bits.Len64(v)==i.
+			var hi uint64
+			if i > 0 {
+				hi = 1<<uint(i) - 1
+			}
+			buckets[fmt.Sprintf("%d", hi)] = b
+		}
+		hists[k] = histJSON{Count: h.count, Sum: h.sum, Buckets: buckets}
+	}
+	return map[string]any{
+		"counters":   counters,
+		"maxima":     maxima,
+		"histograms": hists,
+	}
+}
+
+// WriteJSON writes the registry as a deterministic JSON document:
+// encoding/json sorts map keys, so two registries with equal contents
+// serialize byte-identically regardless of insertion or merge order.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "{}\n")
+		return err
+	}
+	r.mu.Lock()
+	snap := r.snapshot()
+	r.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// Summary renders a human-readable metrics table (sorted by name), the
+// stderr companion of the JSON export. Histograms show count, mean and
+// max-populated bucket bound.
+func (r *Registry) Summary() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var b strings.Builder
+	names := make([]string, 0, len(r.counters))
+	for k := range r.counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	if len(names) > 0 {
+		fmt.Fprintf(&b, "%-52s %14s\n", "counter", "value")
+		for _, k := range names {
+			fmt.Fprintf(&b, "%-52s %14d\n", k, r.counters[k])
+		}
+	}
+	names = names[:0]
+	for k := range r.maxima {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	if len(names) > 0 {
+		fmt.Fprintf(&b, "%-52s %14s\n", "high-water", "max")
+		for _, k := range names {
+			fmt.Fprintf(&b, "%-52s %14d\n", k, r.maxima[k])
+		}
+	}
+	names = names[:0]
+	for k := range r.hists {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	if len(names) > 0 {
+		fmt.Fprintf(&b, "%-52s %14s %14s %14s\n", "histogram", "count", "mean", "p100<=")
+		for _, k := range names {
+			h := r.hists[k]
+			mean := 0.0
+			if h.count > 0 {
+				mean = float64(h.sum) / float64(h.count)
+			}
+			top := 0
+			for i, cnt := range h.buckets {
+				if cnt > 0 {
+					top = i
+				}
+			}
+			var hi uint64
+			if top > 0 {
+				hi = 1<<uint(top) - 1
+			}
+			fmt.Fprintf(&b, "%-52s %14d %14.2f %14d\n", k, h.count, mean, hi)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Tracer records structured simulation events and serializes them as
+// Chrome trace-event JSON (the format perfetto.dev and chrome://tracing
+// load natively). Tracks map to trace "threads": the glue layer creates
+// one per client node, one per OSS controller/NIC and one per OST, plus a
+// "solver" track for rebalance activity.
+//
+// Timestamps are virtual-time seconds; the writer converts them to the
+// format's microseconds. All methods are nil-safe and mutex-guarded:
+// tracing is attached to exactly one repetition (a single simulation
+// goroutine), but claims may race between parallel campaign cells.
+type Tracer struct {
+	mu      sync.Mutex
+	claimed bool
+	tids    map[string]int
+	tracks  []string
+	events  []traceEvent
+	// counters holds "C" (counter) samples separately so the per-OST
+	// utilization CSV can be derived without re-parsing the JSON.
+	counters []counterSample
+}
+
+// traceEvent is one duration ("X") or instant ("i") event.
+type traceEvent struct {
+	name string
+	ph   byte    // 'X' or 'i'
+	ts   float64 // seconds
+	dur  float64 // seconds, X only
+	tid  int
+	args map[string]any
+}
+
+// counterSample is one utilization sample of a named counter track.
+type counterSample struct {
+	track string
+	at    float64 // seconds
+	value float64 // MiB/s
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer {
+	return &Tracer{tids: make(map[string]int)}
+}
+
+// Claim marks the tracer as attached and reports whether this caller won.
+// A tracer records exactly one repetition; campaigns call Claim before
+// attaching so that concurrent figure cells sharing one tracer do not
+// interleave unrelated virtual timelines in one file.
+func (t *Tracer) Claim() bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.claimed {
+		return false
+	}
+	t.claimed = true
+	return true
+}
+
+// track interns a track name, assigning tids in first-use order.
+// Caller holds t.mu.
+func (t *Tracer) track(name string) int {
+	if tid, ok := t.tids[name]; ok {
+		return tid
+	}
+	tid := len(t.tracks) + 1
+	t.tids[name] = tid
+	t.tracks = append(t.tracks, name)
+	return tid
+}
+
+// Slice records a complete duration event [start, end) on a track.
+func (t *Tracer) Slice(track, name string, start, end float64, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, traceEvent{
+		name: name, ph: 'X', ts: start, dur: end - start, tid: t.track(track), args: args,
+	})
+	t.mu.Unlock()
+}
+
+// Instant records a zero-duration marker on a track.
+func (t *Tracer) Instant(track, name string, at float64, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, traceEvent{
+		name: name, ph: 'i', ts: at, tid: t.track(track), args: args,
+	})
+	t.mu.Unlock()
+}
+
+// Counter records one sample of a named counter series (perfetto renders
+// counter tracks as step graphs — the per-OST utilization timeline).
+func (t *Tracer) Counter(track string, at, value float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.counters = append(t.counters, counterSample{track: track, at: at, value: value})
+	t.mu.Unlock()
+}
+
+// Events returns the number of recorded events (slices, instants and
+// counter samples).
+func (t *Tracer) Events() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events) + len(t.counters)
+}
+
+// jsonEvent is the Chrome trace-event wire form. ts/dur are microseconds.
+type jsonEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+const tracePid = 1
+
+// WriteJSON writes the trace in Chrome trace-event JSON object form:
+// {"traceEvents": [...]}. Thread-name metadata events come first so every
+// track is labeled; then events in record order (a single simulated
+// repetition records deterministically); counter samples last.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`)
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]jsonEvent, 0, len(t.events)+len(t.counters)+len(t.tracks)+1)
+	out = append(out, jsonEvent{
+		Name: "process_name", Ph: "M", Pid: tracePid,
+		Args: map[string]any{"name": "simulation"},
+	})
+	for i, name := range t.tracks {
+		out = append(out, jsonEvent{
+			Name: "thread_name", Ph: "M", Pid: tracePid, Tid: i + 1,
+			Args: map[string]any{"name": name},
+		})
+	}
+	const usec = 1e6
+	for _, e := range t.events {
+		je := jsonEvent{
+			Name: e.name, Ph: string(e.ph), Ts: e.ts * usec,
+			Pid: tracePid, Tid: e.tid, Args: e.args,
+		}
+		if e.ph == 'X' {
+			d := e.dur * usec
+			je.Dur = &d
+		} else if e.ph == 'i' {
+			je.S = "t" // thread-scoped instant
+		}
+		out = append(out, je)
+	}
+	for _, c := range t.counters {
+		out = append(out, jsonEvent{
+			Name: c.track, Ph: "C", Ts: c.at * usec, Pid: tracePid,
+			Args: map[string]any{"MiB/s": c.value},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": out})
+}
+
+// WriteUtilCSV writes the counter samples whose track name begins with
+// prefix (e.g. "ost" for the per-OST utilization timeline) as
+// time-ordered CSV rows: time_s,resource,mib_per_s. Samples of one track
+// stay in record order; tracks are interleaved by (time, track name) so
+// the file is deterministic and plot-ready.
+func (t *Tracer) WriteUtilCSV(w io.Writer, prefix string) error {
+	if t == nil {
+		_, err := io.WriteString(w, "time_s,resource,mib_per_s\n")
+		return err
+	}
+	t.mu.Lock()
+	rows := make([]counterSample, 0, len(t.counters))
+	for _, c := range t.counters {
+		if strings.HasPrefix(c.track, prefix) {
+			rows = append(rows, c)
+		}
+	}
+	t.mu.Unlock()
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].at != rows[j].at {
+			return rows[i].at < rows[j].at
+		}
+		return rows[i].track < rows[j].track
+	})
+	var b strings.Builder
+	b.WriteString("time_s,resource,mib_per_s\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%.9f,%s,%.6f\n", r.at, r.track, r.value)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

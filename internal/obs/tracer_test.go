@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Claim() {
+		t.Fatal("nil tracer claimed")
+	}
+	tr.Slice("a", "x", 0, 1, nil)
+	tr.Instant("a", "x", 0, nil)
+	tr.Counter("a", 0, 1)
+	if tr.Events() != 0 {
+		t.Fatal("nil tracer has events")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil trace JSON invalid: %v", err)
+	}
+	buf.Reset()
+	if err := tr.WriteUtilCSV(&buf, "ost"); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "time_s,resource,mib_per_s\n" {
+		t.Fatalf("nil util CSV = %q", buf.String())
+	}
+}
+
+func TestClaimIsExclusive(t *testing.T) {
+	tr := NewTracer()
+	if !tr.Claim() {
+		t.Fatal("first claim failed")
+	}
+	if tr.Claim() {
+		t.Fatal("second claim succeeded")
+	}
+}
+
+// jsonTraceEvent mirrors the wire form for decoding in tests.
+type jsonTraceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s"`
+	Args map[string]any `json:"args"`
+}
+
+func decodeTrace(t *testing.T, tr *Tracer) []jsonTraceEvent {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []jsonTraceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace JSON invalid: %v\n%s", err, buf.String())
+	}
+	return doc.TraceEvents
+}
+
+func TestWriteJSONShape(t *testing.T) {
+	tr := NewTracer()
+	tr.Slice("client/node001", "write /f", 1, 3, map[string]any{"mib": 32.0})
+	tr.Instant("solver", "solve/start", 2, nil)
+	tr.Counter("ost101", 2.5, 440)
+	if tr.Events() != 3 {
+		t.Fatalf("events = %d", tr.Events())
+	}
+	evs := decodeTrace(t, tr)
+	// process_name metadata, two thread_name metadata, then the events.
+	if evs[0].Ph != "M" || evs[0].Name != "process_name" {
+		t.Fatalf("first event = %+v", evs[0])
+	}
+	names := map[string]bool{}
+	var slices, instants, counters int
+	for _, e := range evs {
+		switch e.Ph {
+		case "M":
+			if e.Name == "thread_name" {
+				names[e.Args["name"].(string)] = true
+			}
+		case "X":
+			slices++
+			// Virtual seconds become microseconds.
+			if e.Ts != 1e6 || e.Dur != 2e6 {
+				t.Fatalf("slice ts/dur = %v/%v", e.Ts, e.Dur)
+			}
+		case "i":
+			instants++
+			if e.S != "t" {
+				t.Fatalf("instant scope = %q", e.S)
+			}
+		case "C":
+			counters++
+			if e.Name != "ost101" || e.Ts != 2.5e6 {
+				t.Fatalf("counter = %+v", e)
+			}
+		default:
+			t.Fatalf("unknown phase %q", e.Ph)
+		}
+	}
+	if slices != 1 || instants != 1 || counters != 1 {
+		t.Fatalf("slices/instants/counters = %d/%d/%d", slices, instants, counters)
+	}
+	if !names["client/node001"] || !names["solver"] {
+		t.Fatalf("thread names = %v", names)
+	}
+}
+
+func TestWriteUtilCSVFiltersAndSorts(t *testing.T) {
+	tr := NewTracer()
+	tr.Counter("ost102", 2, 300)
+	tr.Counter("ost101", 1, 100)
+	tr.Counter("oss1/ctl", 1, 999) // filtered out by prefix
+	tr.Counter("ost101", 2, 200)
+	var buf bytes.Buffer
+	if err := tr.WriteUtilCSV(&buf, "ost"); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	want := []string{
+		"time_s,resource,mib_per_s",
+		"1.000000000,ost101,100.000000",
+		"2.000000000,ost101,200.000000",
+		"2.000000000,ost102,300.000000",
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("lines = %q", lines)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Fatalf("line %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+}

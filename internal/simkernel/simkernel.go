@@ -148,6 +148,28 @@ func (h eventHeap) siftDown(i int) {
 	e.index = i
 }
 
+// Stats counts kernel activity for the observability layer. It is a
+// plain struct the owner attaches via SetStats; the kernel updates it
+// behind a single nil check per site, so the disabled path costs one
+// pointer comparison and the enabled path plain integer stores — no
+// atomics (a Simulation is single-goroutine) and nothing that could
+// perturb event order or timing.
+type Stats struct {
+	// Dispatched counts events fired by Step.
+	Dispatched uint64
+	// Scheduled counts At/After scheduling calls.
+	Scheduled uint64
+	// Reschedules counts in-place moves of still-pending events.
+	Reschedules uint64
+	// Requeues counts Reschedule calls that re-queued an already-fired
+	// event (a fresh scheduling decision with a new sequence number).
+	Requeues uint64
+	// Cancels counts successful Cancel calls.
+	Cancels uint64
+	// HeapHighWater is the maximum queue length observed.
+	HeapHighWater uint64
+}
+
 // Simulation owns a virtual clock and an event queue. The zero value is
 // ready to use at time 0.
 type Simulation struct {
@@ -160,7 +182,12 @@ type Simulation struct {
 	// before returning an error. It is a guard against model bugs that
 	// schedule unboundedly.
 	MaxEvents uint64
+	// stats, when non-nil, receives kernel activity counts.
+	stats *Stats
 }
+
+// SetStats attaches (or with nil detaches) an activity counter sink.
+func (s *Simulation) SetStats(st *Stats) { s.stats = st }
 
 // New returns a simulation starting at virtual time 0.
 func New() *Simulation { return &Simulation{} }
@@ -183,6 +210,12 @@ func (s *Simulation) At(t Time, fn func()) *Event {
 	e := &Event{when: t, seq: s.nextSeq, fn: fn}
 	s.nextSeq++
 	s.queue.push(e)
+	if s.stats != nil {
+		s.stats.Scheduled++
+		if n := uint64(len(s.queue)); n > s.stats.HeapHighWater {
+			s.stats.HeapHighWater = n
+		}
+	}
 	return e
 }
 
@@ -201,6 +234,9 @@ func (s *Simulation) Cancel(e *Event) bool {
 		return false
 	}
 	s.queue.remove(e.index)
+	if s.stats != nil {
+		s.stats.Cancels++
+	}
 	return true
 }
 
@@ -224,12 +260,21 @@ func (s *Simulation) Reschedule(e *Event, t Time) {
 	if e.index >= 0 {
 		e.when = t
 		s.queue.fix(e.index)
+		if s.stats != nil {
+			s.stats.Reschedules++
+		}
 		return
 	}
 	e.when = t
 	e.seq = s.nextSeq
 	s.nextSeq++
 	s.queue.push(e)
+	if s.stats != nil {
+		s.stats.Requeues++
+		if n := uint64(len(s.queue)); n > s.stats.HeapHighWater {
+			s.stats.HeapHighWater = n
+		}
+	}
 }
 
 // Step fires the earliest pending event, advancing the clock to its time.
@@ -244,6 +289,9 @@ func (s *Simulation) Step() bool {
 	}
 	s.now = e.when
 	s.executed++
+	if s.stats != nil {
+		s.stats.Dispatched++
+	}
 	e.fn()
 	return true
 }

@@ -348,6 +348,14 @@ type Network struct {
 
 	nextSeq  uint64
 	observer func(at simkernel.Time, f *Flow, rate float64)
+
+	// stats, when non-nil, receives solver activity counts (see SetStats).
+	stats *Stats
+	// solveObserver and resObserver are the tracing hooks (see
+	// ObserveSolves and ObserveResources). Like observer, they are
+	// read-only taps: the network never lets them influence arithmetic.
+	solveObserver func(at simkernel.Time, info SolveInfo)
+	resObserver   func(at simkernel.Time, r *Resource, load float64)
 }
 
 // Components returns the number of live connected components: the unit of
@@ -407,7 +415,7 @@ func (n *Network) SetCapacity(r *Resource, capacity float64) {
 	now := n.sim.Now()
 	n.settleComp(r.comp, now)
 	r.capacity = capacity
-	n.rebalanceComp(r.comp, now, nil)
+	n.rebalanceComp(r.comp, now, nil, TriggerCapacity)
 }
 
 // ActiveFlows returns the number of in-flight flows.
@@ -437,6 +445,11 @@ func (n *Network) release(f *Flow) {
 		if r.nActive == 0 {
 			r.comp.removeResource(r)
 			r.comp = nil
+			if n.resObserver != nil {
+				// The departing flow was the resource's last user: close
+				// its utilization timeline with an explicit zero sample.
+				n.resObserver(n.sim.Now(), r, 0)
+			}
 		}
 	}
 }
@@ -494,7 +507,7 @@ func (n *Network) Start(f *Flow) {
 			if frag.mark {
 				continue
 			}
-			n.rebalanceComp(frag, now, nil)
+			n.rebalanceComp(frag, now, nil, TriggerStart)
 		}
 		for i := range f.uses {
 			if rc := f.uses[i].res.comp; rc != nil {
@@ -529,7 +542,7 @@ func (n *Network) Start(f *Flow) {
 	n.nActive++
 	n.retain(f, target)
 	f.inNet = true
-	n.rebalanceComp(target, now, nil)
+	n.rebalanceComp(target, now, nil, TriggerStart)
 }
 
 // collectStartComps gathers the distinct live components of f's resources
@@ -573,7 +586,7 @@ func (n *Network) Abort(f *Flow) {
 	if len(c.flows) == 0 {
 		n.dropComp(c)
 	} else {
-		n.rebalanceComp(c, now, f)
+		n.rebalanceComp(c, now, f, TriggerAbort)
 	}
 	if f.OnAbort != nil {
 		f.OnAbort(now)
@@ -708,7 +721,7 @@ func (n *Network) settleRescheduleAll() {
 // warm-start path, replaying the recorded freeze trajectory's unaffected
 // prefix instead of re-solving from scratch. Either way the resulting
 // rates are bit-identical to a cold solve.
-func (n *Network) rebalanceComp(c *component, now simkernel.Time, removed *Flow) {
+func (n *Network) rebalanceComp(c *component, now simkernel.Time, removed *Flow, trig SolveTrigger) {
 	if len(c.flows) == 0 {
 		return
 	}
@@ -731,6 +744,7 @@ func (n *Network) rebalanceComp(c *component, now simkernel.Time, removed *Flow)
 	// either re-records it or (below the size cutoff) leaves it stale.
 	c.traj.valid = false
 	if !done {
+		n.sv.lastReplayed = 0
 		rec := &c.traj
 		if len(c.flows) < recordMinFlows {
 			// Recording exists to amortize big solves across removals;
@@ -741,11 +755,38 @@ func (n *Network) rebalanceComp(c *component, now simkernel.Time, removed *Flow)
 		}
 		n.sv.solve(c.flows, c.resources, c.capped, rec)
 	}
+	if n.stats != nil {
+		n.stats.Solves[trig]++
+		n.stats.ComponentFlows.Observe(uint64(len(c.flows)))
+		if removed != nil {
+			if done {
+				n.stats.WarmHits++
+				n.stats.WarmReplayedPasses += uint64(n.sv.lastReplayed)
+			} else {
+				n.stats.WarmMisses++
+			}
+		}
+	}
 	for i, f := range c.flows {
 		n.scheduleCompletion(f, now)
 		if n.observer != nil && f.rate != n.oldRates[i] {
 			n.observer(now, f, f.rate)
 		}
+	}
+	if n.resObserver != nil {
+		for _, r := range c.resources {
+			n.resObserver(now, r, r.load)
+		}
+	}
+	if n.solveObserver != nil {
+		n.solveObserver(now, SolveInfo{
+			Trigger:        trig,
+			Flows:          len(c.flows),
+			Resources:      len(c.resources),
+			LivePasses:     n.sv.lastLive,
+			WarmStart:      done,
+			ReplayedPasses: n.sv.lastReplayed,
+		})
 	}
 }
 
@@ -793,7 +834,7 @@ func (n *Network) complete(f *Flow) {
 	if len(c.flows) == 0 {
 		n.dropComp(c)
 	} else {
-		n.rebalanceComp(c, now, f)
+		n.rebalanceComp(c, now, f, TriggerComplete)
 	}
 	if f.OnComplete != nil {
 		f.OnComplete(now)

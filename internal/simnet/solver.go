@@ -131,6 +131,16 @@ type solver struct {
 
 	fill   float64
 	active int
+
+	// stats, when non-nil, receives per-pass activity counts (shared
+	// with the owning Network; see Network.SetStats). It never feeds back
+	// into the solve's arithmetic.
+	stats *Stats
+	// lastLive and lastReplayed record the previous solve's cost — live
+	// passes run and recorded passes replayed by a warm start — for the
+	// Network's solve observer.
+	lastLive     int
+	lastReplayed int
 }
 
 // capOrder sorts capped flows by cap, tie-broken by the canonical flow
@@ -215,6 +225,7 @@ func (s *solver) solve(flows []*Flow, resources []*Resource, capped []*Flow, rec
 // stayed unfrozen. Cold solves enter with iter 0; warm starts enter at
 // the first pass after the replayed prefix.
 func (s *solver) run(flows []*Flow, resources []*Resource, iter int, rec *trajectory) {
+	startIter := iter
 	maxIter := len(flows) + len(resources) + 1
 	for ; s.active > 0 && iter <= maxIter; iter++ {
 		// Per-resource demand of the unfrozen flows, accumulated in flow
@@ -339,12 +350,17 @@ func (s *solver) run(flows []*Flow, resources []*Resource, iter int, rec *trajec
 				rec.loads = append(rec.loads, r.load)
 			}
 		}
+		if s.stats != nil {
+			s.stats.Passes++
+			s.stats.FreezesPerPass.Observe(uint64(before - s.active))
+		}
 		if s.active == before && step == 0 {
 			// Nothing froze and the fill did not move: every further pass
 			// would replay this state. Same early exit as the reference.
 			break
 		}
 	}
+	s.lastLive = iter - startIter
 	// Flows frozen by the final pass are compacted lazily, so skip them.
 	for _, fi := range s.unfrozen {
 		if f := flows[fi]; !f.frozen {
@@ -492,6 +508,7 @@ func (s *solver) warmSolve(flows []*Flow, resources []*Resource, capped []*Flow,
 	for i := range resources {
 		s.cands = append(s.cands, int32(i))
 	}
+	s.lastReplayed = h
 	s.run(flows, resources, h, nil)
 	return true
 }

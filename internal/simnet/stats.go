@@ -1,0 +1,100 @@
+package simnet
+
+import (
+	"repro/internal/obs"
+	"repro/internal/simkernel"
+)
+
+// SolveTrigger classifies the event that caused a component rebalance.
+type SolveTrigger int
+
+const (
+	// TriggerStart is a flow start (including fragment re-solves during a
+	// lazy component rebuild on the start path).
+	TriggerStart SolveTrigger = iota
+	// TriggerComplete is a flow completion.
+	TriggerComplete
+	// TriggerAbort is a fault-injected flow abort.
+	TriggerAbort
+	// TriggerCapacity is a resource capacity change.
+	TriggerCapacity
+
+	numTriggers
+)
+
+// String implements fmt.Stringer.
+func (t SolveTrigger) String() string {
+	switch t {
+	case TriggerStart:
+		return "start"
+	case TriggerComplete:
+		return "complete"
+	case TriggerAbort:
+		return "abort"
+	case TriggerCapacity:
+		return "capacity"
+	default:
+		return "unknown"
+	}
+}
+
+// Stats counts solver and rebalance activity for the observability layer.
+// It is a plain struct attached via SetStats and updated behind nil
+// checks, single-goroutine like the Network itself: the disabled path
+// costs one pointer comparison per site, and the enabled path never
+// touches the solver's floating-point state — rates, loads and event
+// times are bit-identical with stats on or off.
+type Stats struct {
+	// Solves counts component rebalances by triggering event kind.
+	Solves [numTriggers]uint64
+	// Passes counts live waterfill passes (warm-start-replayed passes are
+	// counted in WarmReplayedPasses instead).
+	Passes uint64
+	// FreezesPerPass is the histogram of flows frozen per live pass.
+	FreezesPerPass obs.Log2Hist
+	// ComponentFlows is the histogram of component sizes (flows) solved.
+	ComponentFlows obs.Log2Hist
+	// WarmHits counts removal rebalances served by the warm-start replay;
+	// WarmMisses counts removal rebalances that fell back to a cold solve
+	// (no recorded trajectory, or no provably safe prefix).
+	WarmHits   uint64
+	WarmMisses uint64
+	// WarmReplayedPasses sums the recorded passes warm starts replayed
+	// instead of recomputing.
+	WarmReplayedPasses uint64
+}
+
+// SetStats attaches (or with nil detaches) a solver activity sink.
+func (n *Network) SetStats(st *Stats) {
+	n.stats = st
+	n.sv.stats = st
+}
+
+// SolveInfo describes one component rebalance to a solve observer.
+type SolveInfo struct {
+	Trigger   SolveTrigger
+	Flows     int
+	Resources int
+	// LivePasses is the number of waterfill passes the live loop ran.
+	LivePasses int
+	// WarmStart reports whether the rebalance replayed a recorded
+	// trajectory prefix; ReplayedPasses is that prefix's length.
+	WarmStart      bool
+	ReplayedPasses int
+}
+
+// ObserveSolves registers a callback invoked after every component
+// rebalance with the solve's shape and cost. Pass nil to remove it. The
+// callback must not mutate simulation state.
+func (n *Network) ObserveSolves(fn func(at simkernel.Time, info SolveInfo)) {
+	n.solveObserver = fn
+}
+
+// ObserveResources registers a callback invoked with post-solve resource
+// loads: after every component rebalance for each resource of the solved
+// component, and with load 0 when a resource's last in-flight flow
+// departs. The tracer builds per-OST utilization timelines from it. Pass
+// nil to remove it. The callback must not mutate simulation state.
+func (n *Network) ObserveResources(fn func(at simkernel.Time, r *Resource, load float64)) {
+	n.resObserver = fn
+}

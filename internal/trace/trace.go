@@ -112,10 +112,14 @@ func (r *Recorder) Aggregate() []Point {
 		rate float64
 		seq  int
 	}
+	// Walk flows in first-seen order, not map order: the sequence number
+	// breaks same-timestamp ties, and same-instant float additions are not
+	// associative, so a map-order walk could emit different totals for the
+	// same recording across runs.
 	var changes []change
 	seq := 0
-	for flow, pts := range r.events {
-		for _, p := range pts {
+	for _, flow := range r.order {
+		for _, p := range r.events[flow] {
 			changes = append(changes, change{at: p.At, flow: flow, rate: p.Rate, seq: seq})
 			seq++
 		}
@@ -161,20 +165,18 @@ func (r *Recorder) Sparkline(flow string, end float64, width int) string {
 	if maxRate == 0 {
 		return strings.Repeat(" ", width)
 	}
-	rateAt := func(t float64) float64 {
-		rate := 0.0
-		for _, p := range pts {
-			if p.At > t {
-				break
-			}
-			rate = p.Rate
-		}
-		return rate
-	}
+	// Sample times ascend and pts is time-sorted, so one forward cursor
+	// serves every column: O(points + width) instead of a full rescan of
+	// the series per column.
 	var b strings.Builder
+	j, rate := 0, 0.0
 	for i := 0; i < width; i++ {
 		t := end * (float64(i) + 0.5) / float64(width)
-		lvl := int(rateAt(t) / maxRate * float64(len(levels)-1))
+		for j < len(pts) && pts[j].At <= t {
+			rate = pts[j].Rate
+			j++
+		}
+		lvl := int(rate / maxRate * float64(len(levels)-1))
 		if lvl < 0 {
 			lvl = 0
 		}

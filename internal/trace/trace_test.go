@@ -167,3 +167,73 @@ func TestFigure9Timeline(t *testing.T) {
 		t.Fatalf("volume = %v", v)
 	}
 }
+
+// Aggregate must not depend on map iteration order: with two flows
+// changing rate at the same instant, the per-timestamp running total is a
+// float sum whose value depends on which flow is applied first unless the
+// sweep visits flows in a fixed order. The rates are chosen so that the
+// wrong order produces catastrophic cancellation (1e17 + 1 - 1e17 = 0,
+// not 1).
+func TestAggregateDeterministicSameInstant(t *testing.T) {
+	build := func() *Recorder {
+		rec := NewRecorder()
+		rec.Record(0, "big", 1e17)
+		rec.Record(0, "small", 0)
+		// At t=1, both change in the same instant: big drops out, small
+		// rises to 1.
+		rec.Record(1, "big", 0)
+		rec.Record(1, "small", 1)
+		return rec
+	}
+	want := build().Aggregate()
+	if n := len(want); n == 0 || want[n-1].Rate != 1 {
+		t.Fatalf("aggregate = %+v, want final total exactly 1 (record-order sweep)", want)
+	}
+	// Map iteration order varies between runs of the loop; the output must
+	// not.
+	for i := 0; i < 50; i++ {
+		got := build().Aggregate()
+		if len(got) != len(want) {
+			t.Fatalf("iteration %d: %d points, want %d", i, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("iteration %d: point %d = %+v, want %+v", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// The forward-cursor Sparkline must sample exactly like the old
+// full-rescan version: the rate in effect at each column's midpoint.
+func TestSparklineCursorMatchesRescan(t *testing.T) {
+	rec := NewRecorder()
+	// Irregular steps, including one between two sample points and one
+	// exactly at a likely sample time.
+	steps := []Point{{0, 10}, {0.37, 80}, {1.5, 40}, {1.55, 100}, {7.2, 0}, {9.999, 60}}
+	for _, p := range steps {
+		rec.Record(p.At, "f", p.Rate)
+	}
+	const end, width = 10.0, 64
+	got := rec.Sparkline("f", end, width)
+	levels := " .:-=+*#%@"
+	rateAt := func(t float64) float64 { // the old per-column rescan
+		rate := 0.0
+		for _, p := range steps {
+			if p.At > t {
+				break
+			}
+			rate = p.Rate
+		}
+		return rate
+	}
+	var want strings.Builder
+	for i := 0; i < width; i++ {
+		ts := end * (float64(i) + 0.5) / float64(width)
+		lvl := int(rateAt(ts) / 100 * float64(len(levels)-1))
+		want.WriteByte(levels[lvl])
+	}
+	if got != want.String() {
+		t.Fatalf("sparkline mismatch:\n got %q\nwant %q", got, want.String())
+	}
+}
