@@ -50,15 +50,28 @@ func main() {
 		workers  = flag.Int("workers", 0, "concurrent repetitions (0 = one per CPU, 1 = serial; same results either way)")
 		metrics  = flag.String("metrics", "", "write merged observability metrics to this JSON file (plus a summary table on stderr)")
 		trace    = flag.String("trace", "", "write one repetition's Chrome trace-event JSON to this file (perfetto-loadable)")
+		// Heartbeat-driven failure detection (0 = the default omniscient
+		// model; healthy runs report identical numbers either way).
+		hbInterval = flag.Float64("hb-interval", 0, "management heartbeat interval in seconds (0 = omniscient failure detection)")
+		hbTimeout  = flag.Float64("hb-timeout", 0, "silence before a target is probably-offline (default 2x -hb-interval)")
+		hbOffline  = flag.Float64("hb-offline", 0, "silence before a target is declared offline (default 5x -hb-interval)")
+		rpcTimeout = flag.Float64("rpc-timeout", 0, "extra delay a client pays per RPC issued against a stale target view")
 	)
 	flag.Parse()
-	if err := run(*api, *bStr, *tStr, *segments, *fpp, *write, *read, *reps, *out, *scenario, *nodes, *ppn, *count, *seed, *workers, *metrics, *trace); err != nil {
+	hb := heartbeatConfig{Interval: *hbInterval, Timeout: *hbTimeout, Offline: *hbOffline, RPCTimeout: *rpcTimeout}
+	if err := run(*api, *bStr, *tStr, *segments, *fpp, *write, *read, *reps, *out, *scenario, *nodes, *ppn, *count, *seed, *workers, *metrics, *trace, hb); err != nil {
 		fmt.Fprintln(os.Stderr, "iorsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(api, bStr, tStr string, segments int, fpp, write, read bool, reps int, out string, scenario, nodes, ppn, count int, seed uint64, workers int, metricsPath, tracePath string) error {
+// heartbeatConfig carries the optional heartbeat-detection flags into the
+// deployed platform.
+type heartbeatConfig struct {
+	Interval, Timeout, Offline, RPCTimeout float64
+}
+
+func run(api, bStr, tStr string, segments int, fpp, write, read bool, reps int, out string, scenario, nodes, ppn, count int, seed uint64, workers int, metricsPath, tracePath string, hb heartbeatConfig) error {
 	if !strings.EqualFold(api, "POSIX") {
 		return fmt.Errorf("only -a POSIX is supported (the paper's configuration)")
 	}
@@ -83,6 +96,16 @@ func run(api, bStr, tStr string, segments int, fpp, write, read bool, reps int, 
 		return fmt.Errorf("-scenario must be 1 or 2")
 	}
 	platform := cluster.PlaFRIM(scen)
+	if hb.Interval > 0 {
+		platform.FS.HeartbeatInterval = hb.Interval
+		platform.FS.HeartbeatTimeout = hb.Timeout
+		platform.FS.OfflineTimeout = hb.Offline
+		platform.FS.RPCTimeout = hb.RPCTimeout
+	} else if hb.Interval < 0 {
+		return fmt.Errorf("-hb-interval must be positive")
+	} else if hb.Timeout > 0 || hb.Offline > 0 || hb.RPCTimeout > 0 {
+		return fmt.Errorf("-hb-timeout/-hb-offline/-rpc-timeout need -hb-interval > 0")
+	}
 	params := ior.Params{
 		Nodes: nodes, PPN: ppn,
 		BlockSize:    block,

@@ -1,6 +1,21 @@
 package beegfs
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors for errors.Is/errors.As matching. Both travel wrapped:
+// ErrAllTargetsOffline inside the create-path error, ErrRetriesExhausted
+// as the Reason of the *IOFailedError delivered to OnError.
+var (
+	// ErrAllTargetsOffline means a create found no usable storage target
+	// in the published cluster map.
+	ErrAllTargetsOffline = errors.New("all storage targets offline")
+	// ErrRetriesExhausted means an op burned through its RetryMax budget
+	// without completing.
+	ErrRetriesExhausted = errors.New("retry budget exhausted")
+)
 
 // UnavailableError reports that an I/O op cannot be issued right now
 // because a stripe carrying bytes has no available replica. With retries
@@ -10,6 +25,11 @@ type UnavailableError struct {
 	Path   string
 	Stripe int
 	Read   bool
+	// Stale marks the heartbeat-model variant: the client's view of the
+	// cluster map said the replica was fine, the issue went out, and the
+	// RPC died against a dead target. Stale failures additionally pay
+	// Config.RPCTimeout before the retry backoff.
+	Stale bool
 }
 
 // Error implements error.
@@ -17,6 +37,9 @@ func (e *UnavailableError) Error() string {
 	kind := "write"
 	if e.Read {
 		kind = "read"
+	}
+	if e.Stale {
+		return fmt.Sprintf("beegfs: stripe %d of %q: RPC to stale-viewed replica timed out for %s", e.Stripe, e.Path, kind)
 	}
 	return fmt.Sprintf("beegfs: stripe %d of %q has no available replica for %s", e.Stripe, e.Path, kind)
 }

@@ -21,8 +21,11 @@ func TestCreateAllTargetsOfflineError(t *testing.T) {
 	if err == nil {
 		t.Fatal("create succeeded with all targets offline")
 	}
-	if !strings.Contains(err.Error(), "offline") || !strings.Contains(err.Error(), "8") {
-		t.Fatalf("error %q is not descriptive", err)
+	if !errors.Is(err, ErrAllTargetsOffline) {
+		t.Fatalf("error %q does not wrap ErrAllTargetsOffline", err)
+	}
+	if !strings.Contains(err.Error(), "8") {
+		t.Fatalf("error %q does not name the offline target count", err)
 	}
 }
 

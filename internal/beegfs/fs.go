@@ -79,6 +79,27 @@ type Config struct {
 	// RetryMax bounds the number of re-issues per op; once exhausted the
 	// op fails with an *IOFailedError delivered to WriteOp.OnError.
 	RetryMax int
+	// HeartbeatInterval, when positive, replaces omniscient failure
+	// detection with the heartbeat-driven target state machine: storage
+	// servers heartbeat every HeartbeatInterval seconds and the mgmtd
+	// publishes per-target Reachability from what it hears, so clients act
+	// on a *stale* cluster map between a fault firing and its detection.
+	// Zero (the default) keeps the legacy instant-detection model.
+	HeartbeatInterval float64
+	// HeartbeatTimeout is the silence after which a target is demoted to
+	// ProbablyOffline (shed for new creates). Zero defaults to
+	// 2·HeartbeatInterval.
+	HeartbeatTimeout float64
+	// OfflineTimeout is the silence after which a target is published
+	// Offline (clients stop selecting it; mirror failover applies). Zero
+	// defaults to 5·HeartbeatInterval. Must be ≥ HeartbeatTimeout.
+	OfflineTimeout float64
+	// RPCTimeout is the extra virtual-time penalty a client pays when it
+	// issues I/O against a target its stale view says is fine but that is
+	// actually dead — the time a real client burns waiting for the RPC to
+	// time out before scheduling the retry. Only used with heartbeats
+	// enabled.
+	RPCTimeout float64
 }
 
 // Validate reports configuration errors.
@@ -113,6 +134,15 @@ func (c Config) Validate() error {
 	if c.RetryTimeout < 0 || c.RetryBackoffBase < 0 || c.RetryMax < 0 {
 		return fmt.Errorf("beegfs: negative retry parameters")
 	}
+	if c.HeartbeatInterval < 0 || c.HeartbeatTimeout < 0 || c.OfflineTimeout < 0 || c.RPCTimeout < 0 {
+		return fmt.Errorf("beegfs: negative heartbeat parameters")
+	}
+	if c.HeartbeatTimeout > 0 && c.OfflineTimeout > 0 && c.OfflineTimeout < c.HeartbeatTimeout {
+		return fmt.Errorf("beegfs: OfflineTimeout %v below HeartbeatTimeout %v", c.OfflineTimeout, c.HeartbeatTimeout)
+	}
+	if c.HeartbeatInterval == 0 && (c.HeartbeatTimeout > 0 || c.OfflineTimeout > 0) {
+		return fmt.Errorf("beegfs: heartbeat timeouts set but HeartbeatInterval is zero")
+	}
 	return nil
 }
 
@@ -137,6 +167,13 @@ type FileSystem struct {
 	// injection); their NIC resource is pinned to zero capacity and their
 	// targets are unavailable to new I/O until the link recovers.
 	nicDown map[*storagesim.Host]bool
+	// nicSlow holds per-host fail-slow NIC factors in (0,1) (SlowFault);
+	// absent = full speed. The factor multiplies the NIC's jittered
+	// capacity and survives ReJitter.
+	nicSlow map[*storagesim.Host]float64
+	// hb is the heartbeat monitor, nil when HeartbeatInterval is 0 (the
+	// legacy omniscient model).
+	hb *heartbeatMonitor
 	// dirty indexes mirrored files with degraded writes awaiting resync.
 	dirty map[string]*File
 	// hostShare is issue's per-call scratch (host → fraction of the op's
@@ -206,6 +243,7 @@ func New(sim *simkernel.Simulation, net *simnet.Network, cfg Config) (*FileSyste
 		meta:      meta,
 		serverNIC: make(map[*storagesim.Host]*simnet.Resource),
 		nicDown:   make(map[*storagesim.Host]bool),
+		nicSlow:   make(map[*storagesim.Host]float64),
 		dirty:     make(map[string]*File),
 	}
 	// A target coming back online may unblock pending mirror resyncs.
@@ -214,6 +252,14 @@ func New(sim *simkernel.Simulation, net *simnet.Network, cfg Config) (*FileSyste
 			fs.startResyncs()
 		}
 	})
+	mgmtd.SubscribeReach(func(t *storagesim.Target, from, to Reachability) {
+		if fs.stats != nil {
+			fs.stats.ReachTransitions++
+		}
+	})
+	if cfg.HeartbeatInterval > 0 {
+		fs.hb = newHeartbeatMonitor(fs)
+	}
 	if cfg.ServerNICCapacity > 0 {
 		for _, h := range sys.Hosts() {
 			fs.serverNIC[h] = net.AddResource(h.Name+"/nic", cfg.ServerNICCapacity)
@@ -329,9 +375,16 @@ func (fs *FileSystem) CreateWithPattern(path string, p StripePattern, src *rng.S
 		return nil, err
 	}
 	online := fs.mgmtd.Online()
+	if fs.hb != nil {
+		// With heartbeats the create path consults the hedge: shed
+		// ProbablyOffline (and consistency-Bad) targets before the Offline
+		// verdict is confirmed. Falls back to Online() when nothing is
+		// fully trusted.
+		online = fs.mgmtd.CreationCandidates()
+	}
 	if len(online) == 0 {
-		return nil, fmt.Errorf("beegfs: cannot create %q: all %d registered storage targets are offline",
-			path, len(fs.mgmtd.All()))
+		return nil, fmt.Errorf("beegfs: cannot create %q: all %d registered storage targets are offline: %w",
+			path, len(fs.mgmtd.All()), ErrAllTargetsOffline)
 	}
 	if p.Count > len(online) {
 		p.Count = len(online)
@@ -543,7 +596,7 @@ func (fs *FileSystem) startIO(op *WriteOp, read bool) (*simnet.Flow, error) {
 			// Not viable right now: queue the first issue behind the retry
 			// machinery instead of failing synchronously. The caller gets a
 			// nil flow; completion still arrives via OnComplete/OnError.
-			fs.retryLater(plan, float64(totalLen)/float64(MiB))
+			fs.retryLater(plan, float64(totalLen)/float64(MiB), fs.staleExtra(err))
 			return nil, nil
 		}
 		putPlan(plan)
@@ -712,6 +765,7 @@ func (a *ioAttempt) finish() {
 			Client: op.Client.Name, App: plan.app, Path: op.File.Path,
 			Read: plan.read, Start: plan.startAt, End: fs.sim.Now(),
 			MiB: float64(plan.totalLen) / float64(MiB), Attempts: op.attempts,
+			EndOffset: plan.maxEnd,
 		})
 	}
 	putPlan(plan)
@@ -729,7 +783,7 @@ func (a *ioAttempt) onAbort(at simkernel.Time) {
 	// The bytes this attempt did move before the abort stay written.
 	fs.attributeBytes(plan, a.primaries, a.secondaries, a.volMiB-rem)
 	fs.putAttempt(a)
-	fs.retryLater(plan, rem)
+	fs.retryLater(plan, rem, 0)
 }
 
 // issue starts (or re-starts) the flow for volMiB of the plan's volume
@@ -744,6 +798,20 @@ func (fs *FileSystem) issue(plan *ioPlan, volMiB float64) (*simnet.Flow, error) 
 	if err != nil {
 		fs.putAttempt(a)
 		return nil, err
+	}
+	if fs.hb != nil {
+		// The selection above came from the mgmtd's published (possibly
+		// stale) map. Now the RPCs go out and meet ground truth: if any
+		// selected replica of a byte-carrying stripe is actually dead, the
+		// issue dies like a timed-out RPC — no flow starts, the op re-enters
+		// the retry path, and the retry additionally pays RPCTimeout.
+		if i, stale := fs.staleStripe(plan, a.primaries, a.secondaries); stale {
+			fs.putAttempt(a)
+			if fs.stats != nil {
+				fs.stats.StaleRPCFailures++
+			}
+			return nil, &UnavailableError{Path: op.File.Path, Stripe: i, Read: plan.read, Stale: true}
+		}
 	}
 	a.plan = plan
 	a.volMiB = volMiB
@@ -829,6 +897,45 @@ func (fs *FileSystem) targetAvailable(t *storagesim.Target) bool {
 	return fs.mgmtd.IsOnline(t.ID) && !t.Failed() && !t.Host().Failed() && !fs.nicDown[t.Host()]
 }
 
+// replicaAvailable is the availability predicate the client applies when
+// selecting replicas. With heartbeats disabled it is omniscient
+// (targetAvailable); with heartbeats enabled the client can only consult
+// the mgmtd's published — and possibly stale — reachability, so a dead
+// target looks fine until the state machine demotes it.
+func (fs *FileSystem) replicaAvailable(t *storagesim.Target) bool {
+	if fs.hb != nil {
+		return fs.mgmtd.IsOnline(t.ID)
+	}
+	return fs.targetAvailable(t)
+}
+
+// groundDead reports whether I/O RPCs against t would actually fail right
+// now, regardless of what the mgmtd publishes. A data-only partition
+// (NIC down with heartbeats spared) still kills data RPCs; a fail-slow
+// target does not — it answers, just slowly.
+func (fs *FileSystem) groundDead(t *storagesim.Target) bool {
+	return t.Failed() || t.Host().Failed() || fs.nicDown[t.Host()]
+}
+
+// staleStripe scans an issue's selected replicas for one that ground
+// truth says is dead, returning the first such stripe index. Only
+// byte-carrying stripes count: session-only targets exchange no data
+// RPCs in the model.
+func (fs *FileSystem) staleStripe(plan *ioPlan, primaries, secondaries []*storagesim.Target) (int, bool) {
+	for i, b := range plan.dist {
+		if b == 0 {
+			continue
+		}
+		if i < len(primaries) && primaries[i] != nil && fs.groundDead(primaries[i]) {
+			return i, true
+		}
+		if i < len(secondaries) && secondaries[i] != nil && fs.groundDead(secondaries[i]) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
 // selectReplicas returns the replica targets an op may use, as slices
 // aligned with the stripe index (nil = that side skipped; an empty
 // secondaries slice = no mirror side). Reads apply per-stripe failover
@@ -856,8 +963,8 @@ func (fs *FileSystem) selectReplicas(f *File, read bool, dist []int64, pBuf, sBu
 		}
 	}
 	for i, t := range f.Targets {
-		pOK := fs.targetAvailable(t)
-		sOK := f.Mirrored() && fs.targetAvailable(f.mirrors[i])
+		pOK := fs.replicaAvailable(t)
+		sOK := f.Mirrored() && fs.replicaAvailable(f.mirrors[i])
 		carries := i >= len(dist) || dist[i] > 0
 		if read {
 			switch {
@@ -904,28 +1011,40 @@ func (fs *FileSystem) retryDelay(attempt int) float64 {
 }
 
 // retryLater schedules the plan's remaining volume for re-issue after the
-// retry delay, or fails the op when retries are disabled or exhausted. A
-// re-issue attempt that still finds no viable replica consumes another
-// attempt and backs off further.
-func (fs *FileSystem) retryLater(plan *ioPlan, remainingMiB float64) {
+// retry delay (plus extra, the stale-RPC timeout penalty when the
+// previous issue died against a stale view), or fails the op when retries
+// are disabled or exhausted. A re-issue attempt that still finds no
+// viable replica consumes another attempt and backs off further.
+func (fs *FileSystem) retryLater(plan *ioPlan, remainingMiB, extra float64) {
 	op := plan.op
 	if fs.cfg.RetryTimeout <= 0 {
 		fs.failOp(plan, fmt.Errorf("aborted by resource failure with retries disabled"))
 		return
 	}
 	if op.attempts >= fs.cfg.RetryMax {
-		fs.failOp(plan, fmt.Errorf("retry budget exhausted"))
+		fs.failOp(plan, ErrRetriesExhausted)
 		return
 	}
 	op.attempts++
 	if fs.stats != nil {
 		fs.stats.RetriesScheduled++
 	}
-	fs.sim.After(fs.retryDelay(op.attempts), func() {
+	fs.sim.After(fs.retryDelay(op.attempts)+extra, func() {
 		if _, err := fs.issue(plan, remainingMiB); err != nil {
-			fs.retryLater(plan, remainingMiB)
+			fs.retryLater(plan, remainingMiB, fs.staleExtra(err))
 		}
 	})
+}
+
+// staleExtra returns the additional delay the next retry must absorb for
+// a failed issue: stale-view RPC failures burn Config.RPCTimeout waiting
+// for the dead target before the client gives up on the attempt.
+func (fs *FileSystem) staleExtra(err error) float64 {
+	var unavail *UnavailableError
+	if errors.As(err, &unavail) && unavail.Stale {
+		return fs.cfg.RPCTimeout
+	}
+	return 0
 }
 
 // failOp delivers the op's terminal error. Without an OnError handler the
@@ -946,7 +1065,7 @@ func (fs *FileSystem) failOp(plan *ioPlan, reason error) {
 			Client: op.Client.Name, App: plan.app, Path: op.File.Path,
 			Read: plan.read, Start: plan.startAt, End: fs.sim.Now(),
 			MiB: float64(plan.totalLen) / float64(MiB), Attempts: op.attempts,
-			Err: err,
+			EndOffset: plan.maxEnd, Err: err,
 		})
 	}
 	if op.OnError != nil {
@@ -985,9 +1104,11 @@ func (fs *FileSystem) noteDegradedWrite(f *File, plan *ioPlan, primaries, second
 			}
 			if primaries[i] == nil {
 				f.dirtyP[i] += bytes
+				_ = fs.mgmtd.SetConsistency(f.Targets[i].ID, NeedsResync)
 			}
 			if secondaries[i] == nil {
 				f.dirtyS[i] += bytes
+				_ = fs.mgmtd.SetConsistency(f.mirrors[i].ID, NeedsResync)
 			}
 			dirtied = true
 		}
@@ -1033,8 +1154,10 @@ func (fs *FileSystem) startResync(f *File) {
 			continue
 		}
 		// The copy reads the good replica and writes the recovered one, so
-		// both sides must be available.
-		if !fs.targetAvailable(f.Targets[i]) || !fs.targetAvailable(f.mirrors[i]) {
+		// both sides must be available — in ground truth, in the published
+		// map (the resyncer is an mgmtd-driven client too), and neither
+		// side condemned Bad.
+		if !fs.resyncEligible(f.Targets[i]) || !fs.resyncEligible(f.mirrors[i]) {
 			return
 		}
 	}
@@ -1101,6 +1224,7 @@ func (fs *FileSystem) startResync(f *File) {
 		fs.resynced += total
 		if f.DirtyBytes() == 0 {
 			delete(fs.dirty, f.Path)
+			fs.refreshConsistency()
 			return
 		}
 		// Concurrent degraded writes dirtied more bytes while we copied.
@@ -1115,6 +1239,46 @@ func (fs *FileSystem) startResync(f *File) {
 		fs.stats.ResyncsStarted++
 	}
 	fs.net.Start(flow)
+}
+
+// resyncEligible reports whether a resync flow may read from or write to
+// t: available in ground truth, published as usable when heartbeats are
+// on (the resyncer acts on the same cluster map as any client), and not
+// condemned Bad.
+func (fs *FileSystem) resyncEligible(t *storagesim.Target) bool {
+	if !fs.targetAvailable(t) {
+		return false
+	}
+	if fs.hb != nil && !fs.mgmtd.IsOnline(t.ID) {
+		return false
+	}
+	return fs.mgmtd.Consistency(t.ID) != Bad
+}
+
+// refreshConsistency restores the Good verdict for every NeedsResync
+// target no dirty file still depends on. Called when a file's dirt is
+// fully cleared (resync completion or unlink); the scan is guarded so
+// fault-free runs never pay for it.
+func (fs *FileSystem) refreshConsistency() {
+	if !fs.mgmtd.hasConsistencyMarks() {
+		return
+	}
+	needed := make(map[int]bool)
+	for _, f := range fs.dirty {
+		for i := range f.Targets {
+			if f.dirtyP[i] > 0 {
+				needed[f.Targets[i].ID] = true
+			}
+			if f.dirtyS[i] > 0 {
+				needed[f.mirrors[i].ID] = true
+			}
+		}
+	}
+	for _, t := range fs.mgmtd.order {
+		if fs.mgmtd.Consistency(t.ID) == NeedsResync && !needed[t.ID] {
+			_ = fs.mgmtd.SetConsistency(t.ID, Good)
+		}
+	}
 }
 
 // ResyncedBytes returns the total bytes re-copied by completed mirror
@@ -1142,7 +1306,11 @@ func (fs *FileSystem) SetNICDown(h *storagesim.Host, down bool) {
 		if down {
 			fs.net.SetCapacity(nic, 0)
 		} else {
-			fs.net.SetCapacity(nic, fs.cfg.ServerNICCapacity)
+			cap := fs.cfg.ServerNICCapacity
+			if f := fs.nicSlow[h]; f != 0 && f != 1 {
+				cap *= f
+			}
+			fs.net.SetCapacity(nic, cap)
 		}
 	}
 	if !down {
@@ -1152,6 +1320,41 @@ func (fs *FileSystem) SetNICDown(h *storagesim.Host, down bool) {
 
 // NICDown reports whether the host's network link is failed.
 func (fs *FileSystem) NICDown(h *storagesim.Host) bool { return fs.nicDown[h] }
+
+// SetNICSlow pins (factor in (0,1)) or restores (factor 0 or 1) a host's
+// NIC to a fraction of its capacity — the network half of a fail-slow
+// gray failure. Unlike SetNICDown it aborts nothing, the host's targets
+// stay available, and heartbeats keep flowing: nothing in the control
+// plane ever notices. The factor survives ReJitter (the cluster layer
+// multiplies it back in) and composes with an overlapping outage.
+func (fs *FileSystem) SetNICSlow(h *storagesim.Host, factor float64) {
+	old := fs.nicSlow[h]
+	if old == 0 {
+		old = 1
+	}
+	if factor == 0 {
+		factor = 1
+	}
+	if factor == old {
+		return
+	}
+	if factor == 1 {
+		delete(fs.nicSlow, h)
+	} else {
+		fs.nicSlow[h] = factor
+	}
+	if nic := fs.serverNIC[h]; nic != nil && !fs.nicDown[h] {
+		fs.net.SetCapacity(nic, nic.Capacity()/old*factor)
+	}
+}
+
+// NICSlowFactor returns the host's fail-slow NIC factor (1 = full speed).
+func (fs *FileSystem) NICSlowFactor(h *storagesim.Host) float64 {
+	if f := fs.nicSlow[h]; f != 0 {
+		return f
+	}
+	return 1
+}
 
 // precheckCapacity rejects writes that would overflow a stripe target,
 // projecting the file's dense size after the regions complete. Concurrent
@@ -1236,8 +1439,10 @@ func (fs *FileSystem) Remove(path string) error {
 			t.Free(f.storedM[i])
 		}
 	}
-	// A deleted file has nothing left to resync.
+	// A deleted file has nothing left to resync; targets whose only dirt
+	// it held go back to Good.
 	delete(fs.dirty, path)
+	fs.refreshConsistency()
 	return fs.meta.Remove(path)
 }
 

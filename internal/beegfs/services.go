@@ -10,11 +10,22 @@ import (
 
 // Mgmtd models the BeeGFS management service: the registry of storage
 // targets, their registration order (which drives the round-robin chooser)
-// and their online/offline state (used by the failure-injection tests).
+// and their published per-target state — Reachability driven by heartbeats
+// (or flipped directly by the omniscient injector when heartbeats are
+// disabled) and Consistency gating mirror resync. Clients always act on
+// this *published* view, never on device ground truth, which is what makes
+// stale-view I/O possible between a fault firing and the mgmtd noticing.
 type Mgmtd struct {
-	order       []*storagesim.Target
-	offline     map[int]bool
+	order []*storagesim.Target
+	// reach holds each target's published reachability; absent = Online.
+	reach map[int]Reachability
+	// consistency holds each target's data-trust verdict; absent = Good.
+	consistency map[int]Consistency
 	subscribers []func(t *storagesim.Target, online bool)
+	reachSubs   []func(t *storagesim.Target, from, to Reachability)
+	// reachObserver is the tracer's single detachable slot, fired after the
+	// subscribers on every reachability transition.
+	reachObserver func(t *storagesim.Target, from, to Reachability)
 }
 
 // NewMgmtd registers the targets in the given order. The order matters:
@@ -31,7 +42,11 @@ func NewMgmtd(order []*storagesim.Target) (*Mgmtd, error) {
 		}
 		seen[t.ID] = true
 	}
-	return &Mgmtd{order: append([]*storagesim.Target(nil), order...), offline: make(map[int]bool)}, nil
+	return &Mgmtd{
+		order:       append([]*storagesim.Target(nil), order...),
+		reach:       make(map[int]Reachability),
+		consistency: make(map[int]Consistency),
+	}, nil
 }
 
 // PlaFRIMOrder returns the registration order reported by the paper for
@@ -74,13 +89,33 @@ func InterleavedOrder(sys *storagesim.System) []*storagesim.Target {
 	return out
 }
 
-// Online returns the online targets in registration order.
+// Online returns the non-Offline targets in registration order. A
+// ProbablyOffline target is still published as usable — the suspicion is
+// only consulted by CreationCandidates.
 func (m *Mgmtd) Online() []*storagesim.Target {
 	out := make([]*storagesim.Target, 0, len(m.order))
 	for _, t := range m.order {
-		if !m.offline[t.ID] {
+		if m.reach[t.ID] != Offline {
 			out = append(out, t)
 		}
+	}
+	return out
+}
+
+// CreationCandidates returns the targets a new file should stripe over:
+// fully Online, not consistency-Bad, in registration order. When the hedge
+// would leave nothing (every target at least suspect), it falls back to
+// Online() — BeeGFS would rather place a file on a suspect target than
+// fail the create while the cluster map still lists usable targets.
+func (m *Mgmtd) CreationCandidates() []*storagesim.Target {
+	out := make([]*storagesim.Target, 0, len(m.order))
+	for _, t := range m.order {
+		if m.reach[t.ID] == Online && m.consistency[t.ID] != Bad {
+			out = append(out, t)
+		}
+	}
+	if len(out) == 0 {
+		return m.Online()
 	}
 	return out
 }
@@ -90,47 +125,126 @@ func (m *Mgmtd) All() []*storagesim.Target {
 	return append([]*storagesim.Target(nil), m.order...)
 }
 
-// IsOnline reports whether the target with the given ID is online. Unknown
-// IDs report false.
+// IsOnline reports whether the target with the given ID is published as
+// usable (anything but Offline). Unknown IDs report false.
 func (m *Mgmtd) IsOnline(id int) bool {
-	if m.offline[id] {
+	if m.reach[id] == Offline {
 		return false
 	}
-	for _, t := range m.order {
-		if t.ID == id {
-			return true
-		}
-	}
-	return false
+	return m.find(id) != nil
 }
 
-// Subscribe registers a callback fired whenever a target's online state
-// actually changes (redundant SetOnline calls do not fire). The file
-// system uses it to kick off mirror resyncs on recovery.
+// Reachability returns the published reachability of a target. Unknown IDs
+// report Offline.
+func (m *Mgmtd) Reachability(id int) Reachability {
+	if m.find(id) == nil {
+		return Offline
+	}
+	return m.reach[id]
+}
+
+// Consistency returns the published consistency of a target. Unknown IDs
+// report Bad.
+func (m *Mgmtd) Consistency(id int) Consistency {
+	if m.find(id) == nil {
+		return Bad
+	}
+	return m.consistency[id]
+}
+
+// SetConsistency publishes a target's consistency verdict. Unknown IDs
+// return an error.
+func (m *Mgmtd) SetConsistency(id int, c Consistency) error {
+	if m.find(id) == nil {
+		return fmt.Errorf("beegfs: unknown target %d", id)
+	}
+	if c == Good {
+		delete(m.consistency, id)
+	} else {
+		m.consistency[id] = c
+	}
+	return nil
+}
+
+// hasConsistencyMarks reports whether any target is currently published as
+// other than Good — a cheap guard so the Good-restoring rescan only runs
+// when there is something to restore.
+func (m *Mgmtd) hasConsistencyMarks() bool { return len(m.consistency) > 0 }
+
+func (m *Mgmtd) find(id int) *storagesim.Target {
+	for _, t := range m.order {
+		if t.ID == id {
+			return t
+		}
+	}
+	return nil
+}
+
+// Subscribe registers a callback fired whenever a target crosses the
+// Offline boundary in either direction (transitions between Online and
+// ProbablyOffline do not fire, and redundant updates do not fire). The
+// file system uses it to kick off mirror resyncs on recovery.
 func (m *Mgmtd) Subscribe(fn func(t *storagesim.Target, online bool)) {
 	m.subscribers = append(m.subscribers, fn)
 }
 
-// SetOnline marks a target online (true) or offline (false). Unknown IDs
-// return an error.
-func (m *Mgmtd) SetOnline(id int, online bool) error {
-	for _, t := range m.order {
-		if t.ID == id {
-			changed := m.offline[id] == online
-			if online {
-				delete(m.offline, id)
-			} else {
-				m.offline[id] = true
-			}
-			if changed {
-				for _, fn := range m.subscribers {
-					fn(t, online)
-				}
-			}
-			return nil
+// SubscribeReach registers a callback fired on every effective
+// reachability transition, including the Online⇄ProbablyOffline hops the
+// legacy Subscribe cannot see.
+func (m *Mgmtd) SubscribeReach(fn func(t *storagesim.Target, from, to Reachability)) {
+	m.reachSubs = append(m.reachSubs, fn)
+}
+
+// SetReachObserver installs (or with nil removes) the tracer's transition
+// observer. Unlike SubscribeReach it is a single replaceable slot, so the
+// observability layer can detach cleanly between repetitions.
+func (m *Mgmtd) SetReachObserver(fn func(t *storagesim.Target, from, to Reachability)) {
+	m.reachObserver = fn
+}
+
+// SetReachability publishes a new reachability verdict for a target.
+// Redundant updates are no-ops; effective ones notify the reach
+// subscribers, the tracer observer, and — when the Offline boundary is
+// crossed — the legacy online/offline subscribers. Unknown IDs return an
+// error.
+func (m *Mgmtd) SetReachability(id int, to Reachability) error {
+	t := m.find(id)
+	if t == nil {
+		return fmt.Errorf("beegfs: unknown target %d", id)
+	}
+	from := m.reach[id]
+	if from == to {
+		return nil
+	}
+	if to == Online {
+		delete(m.reach, id)
+	} else {
+		m.reach[id] = to
+	}
+	for _, fn := range m.reachSubs {
+		fn(t, from, to)
+	}
+	if m.reachObserver != nil {
+		m.reachObserver(t, from, to)
+	}
+	if (from == Offline) != (to == Offline) {
+		online := to != Offline
+		for _, fn := range m.subscribers {
+			fn(t, online)
 		}
 	}
-	return fmt.Errorf("beegfs: unknown target %d", id)
+	return nil
+}
+
+// SetOnline marks a target fully Online (true) or Offline (false) — the
+// omniscient entry point used when heartbeats are disabled. Unknown IDs
+// return an error.
+func (m *Mgmtd) SetOnline(id int, online bool) error {
+	to := Offline
+	if online {
+		to = Online
+	}
+	return m.SetReachability(id, to)
 }
 
 // File is a file's metadata: its stripe pattern and the targets its chunks
@@ -175,6 +289,15 @@ func (f *File) StoredOn(i int) int64 {
 		return 0
 	}
 	return f.stored[i]
+}
+
+// MirrorStoredOn returns the bytes accounted on the i-th stripe's buddy
+// mirror (0 for unmirrored files).
+func (f *File) MirrorStoredOn(i int) int64 {
+	if i < 0 || i >= len(f.storedM) {
+		return 0
+	}
+	return f.storedM[i]
 }
 
 // TargetIDs returns the file's target IDs in stripe order.
@@ -284,6 +407,17 @@ func hasDirPrefix(path, dir string) bool {
 func (m *MetaService) Lookup(path string) *File {
 	m.Ops["stat"]++
 	return m.files[path]
+}
+
+// Files returns every tracked file in path-sorted order. Unlike Lookup it
+// does not count a metadata operation — it is an inspection hook for the
+// invariant checker, not a simulated client call.
+func (m *MetaService) Files() []*File {
+	out := make([]*File, 0, len(m.files))
+	for _, p := range m.Paths() {
+		out = append(out, m.files[p])
+	}
+	return out
 }
 
 // FileCount returns the number of files the MDS tracks.

@@ -43,6 +43,16 @@ type Stats struct {
 	// ActiveClientsHighWater is the maximum number of compute nodes with
 	// concurrently in-flight writes.
 	ActiveClientsHighWater uint64
+	// ReachTransitions counts effective reachability transitions published
+	// by the mgmtd (heartbeat verdicts, or omniscient flips when
+	// heartbeats are disabled).
+	ReachTransitions uint64
+	// StaleRPCFailures counts issues that selected a replica from the
+	// stale cluster map and died against its dead ground truth.
+	StaleRPCFailures uint64
+	// HeartbeatSweeps counts heartbeat monitor rounds (0 with heartbeats
+	// disabled, and 0 in fault-free runs — the monitor is lazy).
+	HeartbeatSweeps uint64
 }
 
 // SetStats attaches (or with nil detaches) an activity counter sink.
@@ -69,6 +79,10 @@ type OpEvent struct {
 	MiB   float64
 	// Attempts counts fault-triggered re-issues (0 = clean first issue).
 	Attempts int
+	// EndOffset is the exclusive end of the op's touched byte range; for a
+	// successful write it is the boundary the invariant checker holds the
+	// file's size to ("no acknowledged write loses bytes").
+	EndOffset int64
 	// Err is non-nil when the op failed terminally.
 	Err error
 }
@@ -79,3 +93,8 @@ type OpEvent struct {
 func (fs *FileSystem) SetOpObserver(fn func(ev OpEvent)) {
 	fs.opObserver = fn
 }
+
+// OpObserver returns the currently installed op observer (nil if none),
+// so a second consumer — the invariant checker — can compose with an
+// already-attached tracer instead of displacing it.
+func (fs *FileSystem) OpObserver() func(ev OpEvent) { return fs.opObserver }

@@ -216,7 +216,13 @@ func (d *Deployment) ReJitter(src *rng.Source) {
 				continue
 			}
 			if nic := d.FS.ServerNIC(h); nic != nil {
-				d.Net.SetCapacity(nic, d.serverNICBase*src.LogNormal(1, d.Platform.ServerNICJitterCV))
+				c := d.serverNICBase * src.LogNormal(1, d.Platform.ServerNICJitterCV)
+				// A fail-slow pin survives re-jittering: the link keeps its
+				// degraded fraction of whatever capacity was drawn.
+				if f := d.FS.NICSlowFactor(h); f != 1 {
+					c *= f
+				}
+				d.Net.SetCapacity(nic, c)
 			}
 		}
 	}
@@ -231,7 +237,11 @@ func (d *Deployment) ResetJitter() {
 				continue
 			}
 			if nic := d.FS.ServerNIC(h); nic != nil {
-				d.Net.SetCapacity(nic, d.serverNICBase)
+				c := d.serverNICBase
+				if f := d.FS.NICSlowFactor(h); f != 1 {
+					c *= f
+				}
+				d.Net.SetCapacity(nic, c)
 			}
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/simkernel"
 	"repro/internal/simnet"
+	"repro/internal/storagesim"
 )
 
 // RunStats bundles one repetition's per-layer activity counters. The
@@ -71,6 +72,9 @@ func (st *RunStats) FlushTo(reg *obs.Registry) {
 	reg.Add("beegfs/degraded_writes", f.DegradedWrites)
 	reg.Add("beegfs/read_failovers", f.ReadFailovers)
 	reg.Add("beegfs/resyncs_started", f.ResyncsStarted)
+	reg.Add("beegfs/reach_transitions", f.ReachTransitions)
+	reg.Add("beegfs/stale_rpc_failures", f.StaleRPCFailures)
+	reg.Add("beegfs/heartbeat_sweeps", f.HeartbeatSweeps)
 	// sync.Pool hit rates depend on the host's GC and goroutine
 	// scheduling, not on the simulation; the runtime/ namespace keeps
 	// them out of the deterministic portion of the export.
@@ -103,6 +107,13 @@ func (d *Deployment) AttachTracer(t *obs.Tracer) {
 			t.Counter(r.Name, float64(at), load)
 		}
 	})
+	d.FS.Mgmtd().SetReachObserver(func(tg *storagesim.Target, from, to beegfs.Reachability) {
+		t.Instant("mgmtd", fmt.Sprintf("target %d %s→%s", tg.ID, from, to), float64(d.Sim.Now()), map[string]any{
+			"target": tg.ID,
+			"from":   from.String(),
+			"to":     to.String(),
+		})
+	})
 	d.FS.SetOpObserver(func(ev beegfs.OpEvent) {
 		kind := "write"
 		if ev.Read {
@@ -122,5 +133,6 @@ func (d *Deployment) AttachTracer(t *obs.Tracer) {
 func (d *Deployment) DetachObservers() {
 	d.Net.ObserveSolves(nil)
 	d.Net.ObserveResources(nil)
+	d.FS.Mgmtd().SetReachObserver(nil)
 	d.FS.SetOpObserver(nil)
 }

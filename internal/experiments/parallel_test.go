@@ -105,6 +105,7 @@ func TestSerialParallelEquivalence(t *testing.T) {
 		{"ext-nn", func(w int) (any, error) { return ExtNN(opts(w, 2)) }},
 		{"ext-read", func(w int) (any, error) { return ExtRead(opts(w, 2)) }},
 		{"ext-resilience", func(w int) (any, error) { return ExtResilience(opts(w, 2)) }},
+		{"ext-chaos", func(w int) (any, error) { return ExtChaos(opts(w, 2)) }},
 		{"policies", func(w int) (any, error) { return ComparePolicies(2, opts(w, 3)) }},
 		{"interference", func(w int) (any, error) {
 			proto := Protocol{Repetitions: 6, BlockSize: 3, MinWait: 0.5, MaxWait: 2, Seed: 13}

@@ -167,6 +167,12 @@ type Campaign struct {
 	// called from worker goroutines concurrently; it must only touch the
 	// deployment it is handed.
 	Setup func(*cluster.Deployment) error
+	// Quiesce, when non-nil, runs after a repetition's applications have
+	// finished and results are gathered but BEFORE benchmark files are
+	// removed: the hook's chance to drain remaining simulation activity
+	// (fault recoveries, pending resyncs) and assert invariants against the
+	// still-present files. Same concurrency caveat as Setup.
+	Quiesce func(*cluster.Deployment, *Record) error
 	// Inspect, when non-nil, runs right after a repetition finishes, with
 	// the repetition's deployment and completed record (post-cleanup
 	// assertions, extra metrics). Same concurrency caveat as Setup.
@@ -515,6 +521,11 @@ func (c Campaign) runUnit(cfg Config, u *unit) (Record, error) {
 	if maxEnd > minStart {
 		rec.Aggregate = volSum / float64(maxEnd-minStart)
 	}
+	if c.Quiesce != nil {
+		if err := c.Quiesce(dep, &rec); err != nil {
+			return Record{}, err
+		}
+	}
 	// Clean up the benchmark files (as IOR does by default) so campaigns
 	// of hundreds of 32 GiB repetitions do not fill the storage targets.
 	for _, run := range runs {
@@ -534,6 +545,7 @@ func (c Campaign) runUnit(cfg Config, u *unit) (Record, error) {
 		c.Metrics.Add("faults/injections", fstats.Injections)
 		c.Metrics.Add("faults/recoveries", fstats.Recoveries)
 		c.Metrics.Add("faults/aborted_flows", fstats.AbortedFlows)
+		c.Metrics.Add("faults/noops", fstats.Noops)
 		c.Metrics.Add("experiments/repetitions", 1)
 		// Wall-clock cost is inherently run-dependent; the prefix lets
 		// determinism checks filter it out.

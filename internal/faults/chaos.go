@@ -1,0 +1,195 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// Profile parameterizes the chaos schedule generator: which fault kinds to
+// draw from, how many episodes to attempt, and the outage-length and
+// slow-factor ranges. A Profile plus an rng seed fully determines the
+// generated Schedule, so chaos campaigns replay bit-identically.
+type Profile struct {
+	// Name labels the profile in campaign output.
+	Name string
+	// Duration is the window (seconds) fault starts are drawn from.
+	Duration float64
+	// Episodes is the number of fault episodes attempted. Episodes whose
+	// component is already busy with an overlapping episode are dropped
+	// (never reshuffled — that keeps the draw sequence fixed), so the
+	// schedule may contain fewer.
+	Episodes int
+	// Kinds is the fault-kind pool, drawn uniformly per episode. Kinds
+	// the deployment can't express (see NICs / Heartbeats) are filtered
+	// out up front.
+	Kinds []Kind
+	// MinOutage and MaxOutage bound the Fail→Recover gap in seconds.
+	MinOutage, MaxOutage float64
+	// MinFactor and MaxFactor bound SlowFault capacity fractions; both in
+	// (0,1), used only when Kinds includes SlowFault.
+	MinFactor, MaxFactor float64
+	// TargetIDs is the pool for target-addressed episodes.
+	TargetIDs []int
+	// Hosts is the number of storage hosts (1-based indexes 1..Hosts).
+	Hosts int
+	// NICs reports whether the deployment models server NICs; without
+	// them NICFault, NIC-side SlowFault and data-plane partitions are
+	// excluded.
+	NICs bool
+	// Heartbeats reports whether the deployment runs heartbeat detection;
+	// without it PartitionFault is excluded.
+	Heartbeats bool
+}
+
+// Validate reports profile errors.
+func (p Profile) Validate() error {
+	if p.Duration <= 0 {
+		return fmt.Errorf("faults: chaos profile needs a positive Duration")
+	}
+	if p.Episodes < 0 {
+		return fmt.Errorf("faults: negative Episodes")
+	}
+	if len(p.Kinds) == 0 {
+		return fmt.Errorf("faults: chaos profile needs at least one Kind")
+	}
+	if p.MinOutage <= 0 || p.MaxOutage < p.MinOutage {
+		return fmt.Errorf("faults: bad outage range [%v,%v]", p.MinOutage, p.MaxOutage)
+	}
+	for _, k := range p.Kinds {
+		switch k {
+		case TargetFault, HostFault, NICFault, SlowFault, PartitionFault:
+		default:
+			return fmt.Errorf("faults: chaos profile has unknown kind %d", int(k))
+		}
+		if k == SlowFault && !(p.MinFactor > 0 && p.MinFactor <= p.MaxFactor && p.MaxFactor < 1) {
+			return fmt.Errorf("faults: bad slow-factor range [%v,%v]", p.MinFactor, p.MaxFactor)
+		}
+	}
+	if len(p.TargetIDs) == 0 && p.Hosts <= 0 {
+		return fmt.Errorf("faults: chaos profile needs TargetIDs or Hosts")
+	}
+	return nil
+}
+
+// usable filters the kind pool down to what the deployment can express.
+func (p Profile) usable() []Kind {
+	out := make([]Kind, 0, len(p.Kinds))
+	for _, k := range p.Kinds {
+		switch k {
+		case NICFault:
+			if !p.NICs || p.Hosts <= 0 {
+				continue
+			}
+		case PartitionFault:
+			if !p.Heartbeats || p.Hosts <= 0 {
+				continue
+			}
+		case HostFault:
+			if p.Hosts <= 0 {
+				continue
+			}
+		case TargetFault:
+			if len(p.TargetIDs) == 0 {
+				continue
+			}
+		case SlowFault:
+			if len(p.TargetIDs) == 0 && !(p.NICs && p.Hosts > 0) {
+				continue
+			}
+		}
+		out = append(out, k)
+	}
+	return out
+}
+
+// Chaos generates a closed fault schedule (every Fail paired with a
+// Recover) from a seeded source. The same source state and profile yield
+// the same schedule. Episodes are drawn independently; an episode that
+// would overlap an earlier one on the same host (targets conflict with
+// their host and vice versa) is dropped rather than redrawn, keeping the
+// consumption of src fixed per episode. The generated schedule always
+// passes Validate on a deployment matching the profile's capabilities.
+func Chaos(src *rng.Source, p Profile) (Schedule, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	kinds := p.usable()
+	if len(kinds) == 0 {
+		return nil, fmt.Errorf("faults: chaos profile %q has no usable kinds for this deployment", p.Name)
+	}
+	type interval struct{ start, end float64 }
+	busy := make(map[int][]interval) // 1-based host index → episodes
+	overlaps := func(host int, start, end float64) bool {
+		for _, iv := range busy[host] {
+			if start < iv.end && iv.start < end {
+				return true
+			}
+		}
+		return false
+	}
+	hostOf := func(targetID int) int { return targetID / 100 }
+	var out Schedule
+	for ep := 0; ep < p.Episodes; ep++ {
+		// Draw everything up front so a dropped episode consumes exactly
+		// as much randomness as a kept one.
+		kind := kinds[src.Intn(len(kinds))]
+		targetPick := 0
+		if len(p.TargetIDs) > 0 {
+			targetPick = p.TargetIDs[src.Intn(len(p.TargetIDs))]
+		}
+		hostPick := 1
+		if p.Hosts > 0 {
+			hostPick = 1 + src.Intn(p.Hosts)
+		}
+		start := src.UniformRange(0, p.Duration)
+		outage := src.UniformRange(p.MinOutage, p.MaxOutage)
+		factor := 0.0
+		if p.MinFactor > 0 {
+			factor = src.UniformRange(p.MinFactor, p.MaxFactor)
+		}
+		coin := src.Intn(2)
+
+		fail := Event{At: start, Kind: kind, Action: Fail}
+		switch kind {
+		case TargetFault:
+			fail.ID = targetPick
+		case HostFault, NICFault:
+			fail.ID = hostPick
+		case SlowFault:
+			fail.Factor = factor
+			// Prefer a target pin; flip a coin toward the NIC when both
+			// sides are expressible.
+			if p.NICs && p.Hosts > 0 && (len(p.TargetIDs) == 0 || coin == 0) {
+				fail.NIC = true
+				fail.ID = hostPick
+			} else {
+				fail.ID = targetPick
+			}
+		case PartitionFault:
+			fail.ID = hostPick
+			// Data-plane partitions need NICs; otherwise always control.
+			if p.NICs && coin == 1 {
+				fail.Plane = PlaneData
+			} else {
+				fail.Plane = PlaneControl
+			}
+		}
+		host := fail.ID
+		if kind == TargetFault || (kind == SlowFault && !fail.NIC) {
+			host = hostOf(fail.ID)
+		}
+		if overlaps(host, start, start+outage) {
+			continue
+		}
+		busy[host] = append(busy[host], interval{start, start + outage})
+		rec := fail
+		rec.At = start + outage
+		rec.Action = Recover
+		rec.Factor = 0
+		out = append(out, fail, rec)
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].At < out[b].At })
+	return out, nil
+}

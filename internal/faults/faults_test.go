@@ -25,11 +25,24 @@ func deploy(t *testing.T, s cluster.Scenario) *cluster.Deployment {
 
 func TestScheduleValidate(t *testing.T) {
 	dep := deploy(t, cluster.Scenario1Ethernet)
+	// The good schedule exercises the documented idempotent semantics:
+	// re-failing a failed target, recovering a never-failed target, and a
+	// full host bounce are all accepted (the injector applies them as
+	// no-ops where nothing changes).
 	good := faults.Schedule{
 		{At: 1, Kind: faults.TargetFault, ID: 201, Action: faults.Fail},
-		{At: 2, Kind: faults.HostFault, ID: 2, Action: faults.Fail},
-		{At: 3, Kind: faults.NICFault, ID: 1, Action: faults.Fail},
-		{At: 4, Kind: faults.TargetFault, ID: 201, Action: faults.Recover},
+		{At: 1.5, Kind: faults.TargetFault, ID: 201, Action: faults.Fail},
+		{At: 2, Kind: faults.TargetFault, ID: 201, Action: faults.Recover},
+		{At: 2.5, Kind: faults.TargetFault, ID: 102, Action: faults.Recover},
+		{At: 3, Kind: faults.HostFault, ID: 2, Action: faults.Fail},
+		{At: 4, Kind: faults.HostFault, ID: 2, Action: faults.Recover},
+		{At: 5, Kind: faults.NICFault, ID: 1, Action: faults.Fail},
+		{At: 6, Kind: faults.NICFault, ID: 1, Action: faults.Recover},
+		{At: 7, Kind: faults.SlowFault, ID: 201, Action: faults.Fail, Factor: 0.25},
+		{At: 7.5, Kind: faults.SlowFault, ID: 201, Action: faults.Fail, Factor: 0.5},
+		{At: 8, Kind: faults.SlowFault, ID: 201, Action: faults.Recover},
+		{At: 9, Kind: faults.SlowFault, ID: 1, NIC: true, Action: faults.Fail, Factor: 0.5},
+		{At: 10, Kind: faults.SlowFault, ID: 1, NIC: true, Action: faults.Recover},
 	}
 	if err := good.Validate(dep.FS); err != nil {
 		t.Fatal(err)
@@ -42,6 +55,24 @@ func TestScheduleValidate(t *testing.T) {
 		{{At: 1, Kind: faults.HostFault, ID: 0}},
 		{{At: 1, Kind: faults.HostFault, ID: 3}},
 		{{At: 1, Kind: faults.NICFault, ID: 3}},
+		// Slow factors must land strictly inside (0,1).
+		{{At: 1, Kind: faults.SlowFault, ID: 201, Action: faults.Fail}},
+		{{At: 1, Kind: faults.SlowFault, ID: 201, Action: faults.Fail, Factor: 1.5}},
+		{{At: 1, Kind: faults.SlowFault, ID: 9, NIC: true, Action: faults.Fail, Factor: 0.5}},
+		// Partitions need heartbeats (scenario deployments default to the
+		// omniscient model).
+		{{At: 1, Kind: faults.PartitionFault, ID: 1, Action: faults.Fail}},
+		{{At: 1, Kind: faults.PartitionFault, ID: 1, Plane: faults.Plane(9), Action: faults.Fail}},
+		// Genuinely contradictory cross-event sequences: restoring a
+		// sub-component inside a still-failed host.
+		{
+			{At: 1, Kind: faults.HostFault, ID: 2, Action: faults.Fail},
+			{At: 2, Kind: faults.TargetFault, ID: 201, Action: faults.Recover},
+		},
+		{
+			{At: 1, Kind: faults.HostFault, ID: 1, Action: faults.Fail},
+			{At: 2, Kind: faults.NICFault, ID: 1, Action: faults.Recover},
+		},
 	}
 	for i, s := range bad {
 		if s.Validate(dep.FS) == nil {
@@ -50,6 +81,30 @@ func TestScheduleValidate(t *testing.T) {
 		if faults.NewInjector(dep.FS).Arm(s) == nil {
 			t.Errorf("bad schedule %d armed", i)
 		}
+	}
+}
+
+// Validate replays the schedule in firing order (time, then slice order),
+// so an out-of-order slice whose *times* sequence host-recover before
+// target-recover is fine, while the same events with contradictory times
+// are rejected.
+func TestScheduleValidateFiringOrder(t *testing.T) {
+	dep := deploy(t, cluster.Scenario1Ethernet)
+	ok := faults.Schedule{
+		{At: 3, Kind: faults.TargetFault, ID: 201, Action: faults.Recover},
+		{At: 1, Kind: faults.HostFault, ID: 2, Action: faults.Fail},
+		{At: 2, Kind: faults.HostFault, ID: 2, Action: faults.Recover},
+	}
+	if err := ok.Validate(dep.FS); err != nil {
+		t.Fatalf("time-ordered-valid schedule rejected: %v", err)
+	}
+	contradictory := faults.Schedule{
+		{At: 3, Kind: faults.HostFault, ID: 2, Action: faults.Recover},
+		{At: 1, Kind: faults.HostFault, ID: 2, Action: faults.Fail},
+		{At: 2, Kind: faults.TargetFault, ID: 201, Action: faults.Recover},
+	}
+	if contradictory.Validate(dep.FS) == nil {
+		t.Fatal("contradictory schedule accepted")
 	}
 }
 
@@ -76,13 +131,17 @@ func TestScheduleValidateRejectsNICFaultWithoutNICs(t *testing.T) {
 
 func TestKindAndActionStrings(t *testing.T) {
 	if faults.TargetFault.String() != "target" || faults.HostFault.String() != "host" ||
-		faults.NICFault.String() != "nic" {
+		faults.NICFault.String() != "nic" || faults.SlowFault.String() != "slow" ||
+		faults.PartitionFault.String() != "partition" {
 		t.Fatal("kind strings broken")
 	}
 	if faults.Fail.String() != "fail" || faults.Recover.String() != "recover" {
 		t.Fatal("action strings broken")
 	}
-	if faults.Kind(9).String() == "" || faults.Action(9).String() == "" {
+	if faults.PlaneControl.String() != "control" || faults.PlaneData.String() != "data" {
+		t.Fatal("plane strings broken")
+	}
+	if faults.Kind(9).String() == "" || faults.Action(9).String() == "" || faults.Plane(9).String() == "" {
 		t.Fatal("unknown values must still print")
 	}
 }
@@ -284,7 +343,10 @@ func FuzzFaultSchedule(f *testing.F) {
 			t.Fatal(err)
 		}
 		// Decode up to 16 events from the fuzz bytes, 3 bytes each, clamped
-		// into the valid domain so Arm never rejects them.
+		// into the valid domain. Each candidate is kept only if Validate
+		// still accepts the grown schedule — Validate rejects genuinely
+		// contradictory sequences (e.g. recovering a target inside a
+		// still-failed host), and the fuzz bytes are free to propose them.
 		all := dep.FS.Mgmtd().All()
 		var sched faults.Schedule
 		for i := 0; i+2 < len(data) && len(sched) < 16; i += 3 {
@@ -298,7 +360,9 @@ func FuzzFaultSchedule(f *testing.F) {
 			} else {
 				e.ID = 1 + int(data[i+2])%2
 			}
-			sched = append(sched, e)
+			if append(sched, e).Validate(dep.FS) == nil {
+				sched = append(sched, e)
+			}
 		}
 		if err := faults.NewInjector(dep.FS).Arm(sched); err != nil {
 			t.Fatalf("valid schedule rejected: %v", err)

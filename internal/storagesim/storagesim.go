@@ -199,6 +199,9 @@ type Target struct {
 	// failed pins the target capacity to zero (OST failure) regardless of
 	// jitter redraws or writer-count changes.
 	failed bool
+	// slow, when in (0,1), multiplies the target's capacity at every
+	// recomputation (fail-slow gray failure); 0 means full speed.
+	slow float64
 }
 
 // SetFailed marks the target as failed (true) or recovered (false). While
@@ -213,6 +216,30 @@ func (t *Target) SetFailed(failed bool) {
 
 // Failed reports whether the target is currently marked failed.
 func (t *Target) Failed() bool { return t.failed }
+
+// SetSlow pins the target to a fraction of its capacity (factor in (0,1))
+// or restores full speed (factor 0 or 1) — the device half of a fail-slow
+// gray failure. The target keeps serving I/O and, crucially, keeps
+// heartbeating: nothing marks it failed, so only throughput observation
+// can reveal it.
+func (t *Target) SetSlow(factor float64) {
+	if factor == 1 {
+		factor = 0
+	}
+	if t.slow == factor {
+		return
+	}
+	t.slow = factor
+	t.updateCapacity()
+}
+
+// SlowFactor returns the target's fail-slow pin (1 = full speed).
+func (t *Target) SlowFactor() float64 {
+	if t.slow == 0 {
+		return 1
+	}
+	return t.slow
+}
 
 // Used returns the bytes stored on the target.
 func (t *Target) Used() int64 { return t.usedBytes }
@@ -276,6 +303,9 @@ func (t *Target) updateCapacity() {
 	}
 	if sh := t.host.sys.cfg.SatHalf; sh > 0 {
 		c *= t.writeDepth / (t.writeDepth + sh)
+	}
+	if t.slow > 0 {
+		c *= t.slow
 	}
 	t.host.sys.net.SetCapacity(t.resource, c)
 }
