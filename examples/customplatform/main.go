@@ -29,7 +29,10 @@ func main() {
 		beegfs.RandomChooser{},
 		&beegfs.BalancedChooser{},
 	} {
-		p := cluster.Custom("quad-oss", hosts, perHost, link, chooser)
+		p, err := cluster.Custom("quad-oss", hosts, perHost, link, chooser)
+		if err != nil {
+			log.Fatal(err)
+		}
 		dep, err := p.Deploy()
 		if err != nil {
 			log.Fatal(err)
@@ -64,7 +67,10 @@ func main() {
 	}
 
 	// The closed-form recommender handles the 4-host layout too.
-	p := cluster.Custom("quad-oss", hosts, perHost, link, &beegfs.RoundRobinChooser{})
+	p, err := cluster.Custom("quad-oss", hosts, perHost, link, &beegfs.RoundRobinChooser{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	m := core.Model{FS: p.FS, ClientNIC: p.ClientNICCapacity}
 	// Host-interleaved registration order: 0,1,2,3,0,1,2,3,...
 	order := make([]int, hosts*perHost)

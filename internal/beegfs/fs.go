@@ -35,6 +35,16 @@ type Config struct {
 	// bottleneck (no NIC resource is created) — scenario 2's Omnipath is
 	// modelled with a high but finite value.
 	ServerNICCapacity float64
+	// RackHosts groups storage hosts into racks of this many consecutive
+	// hosts (registration order) and gives each rack an uplink resource of
+	// RackUplinkCapacity MiB/s. Traffic between a client and a storage host
+	// in a *different* rack crosses both racks' uplinks; rack-local traffic
+	// crosses neither — the fat-tree over-subscription that makes
+	// rack-local target allocation matter at datacenter scale. Zero (the
+	// default) disables rack modelling entirely: no resources are created
+	// and the I/O path pays no overhead. Both fields must be set together.
+	RackHosts          int
+	RackUplinkCapacity float64
 	// DefaultPattern is the root directory's stripe configuration.
 	DefaultPattern StripePattern
 	// Chooser is the system-wide target selection heuristic.
@@ -113,6 +123,13 @@ func (c Config) Validate() error {
 	if c.ServerNICCapacity < 0 {
 		return fmt.Errorf("beegfs: negative ServerNICCapacity")
 	}
+	if c.RackHosts < 0 || c.RackUplinkCapacity < 0 {
+		return fmt.Errorf("beegfs: negative rack parameters")
+	}
+	if (c.RackHosts > 0) != (c.RackUplinkCapacity > 0) {
+		return fmt.Errorf("beegfs: RackHosts and RackUplinkCapacity must be set together (got %d, %v)",
+			c.RackHosts, c.RackUplinkCapacity)
+	}
 	if err := c.DefaultPattern.Validate(); err != nil {
 		return err
 	}
@@ -161,6 +178,15 @@ type FileSystem struct {
 	// is 0); its capacity follows ClientA * activeClients^ClientGamma.
 	clientRamp    *simnet.Resource
 	activeClients int
+	// rackOf maps each storage host to its rack index and rackUplink holds
+	// one uplink resource per rack; both are nil/empty when rack modelling
+	// is off (Config.RackHosts == 0).
+	rackOf     map[*storagesim.Host]int
+	rackUplink []*simnet.Resource
+	// rackShare is issue's per-call scratch (rack → fraction of the op's
+	// rate crossing that rack's uplink), indexed by rack so accumulation
+	// follows the deterministic target slice order, never map order.
+	rackShare []float64
 	// mirrorCursor rotates buddy-group selection (CreateMirrored).
 	mirrorCursor int
 	// nicDown marks storage hosts whose network link is down (fault
@@ -268,7 +294,35 @@ func New(sim *simkernel.Simulation, net *simnet.Network, cfg Config) (*FileSyste
 	if cfg.ClientA > 0 {
 		fs.clientRamp = net.AddResource("clientstack", cfg.ClientA)
 	}
+	if cfg.RackHosts > 0 {
+		fs.rackOf = make(map[*storagesim.Host]int)
+		hosts := sys.Hosts()
+		racks := (len(hosts) + cfg.RackHosts - 1) / cfg.RackHosts
+		fs.rackUplink = make([]*simnet.Resource, racks)
+		for r := 0; r < racks; r++ {
+			fs.rackUplink[r] = net.AddResource(fmt.Sprintf("rack%02d/uplink", r), cfg.RackUplinkCapacity)
+		}
+		for i, h := range hosts {
+			fs.rackOf[h] = i / cfg.RackHosts
+		}
+		fs.rackShare = make([]float64, racks)
+	}
 	return fs, nil
+}
+
+// Racks returns the number of storage racks (0 when rack modelling is off).
+func (fs *FileSystem) Racks() int { return len(fs.rackUplink) }
+
+// RackUplink returns rack r's uplink resource.
+func (fs *FileSystem) RackUplink(r int) *simnet.Resource { return fs.rackUplink[r] }
+
+// RackOf returns the rack index of a storage host (-1 when rack modelling
+// is off).
+func (fs *FileSystem) RackOf(h *storagesim.Host) int {
+	if fs.rackOf == nil {
+		return -1
+	}
+	return fs.rackOf[h]
 }
 
 // noteClientOps adjusts a client's in-flight write count and updates the
@@ -339,23 +393,42 @@ type Client struct {
 	Name string
 	fs   *FileSystem
 	nic  *simnet.Resource
+	// rack is the compute node's rack index, or -1 when unplaced (or rack
+	// modelling is off). I/O from a placed client to a storage host in a
+	// different rack crosses both racks' uplinks.
+	rack int
 	// activeOps counts in-flight I/O ops for the client-stack ramp
 	// accounting (noteClientOps).
 	activeOps int
 }
 
 // NewClient mounts the file system on a compute node with the given NIC
-// capacity in MiB/s (0 = unconstrained).
+// capacity in MiB/s (0 = unconstrained). The node is unplaced with
+// respect to racks; use NewClientInRack to pin it.
 func (fs *FileSystem) NewClient(name string, nicCapacity float64) *Client {
-	c := &Client{Name: name, fs: fs}
+	c := &Client{Name: name, fs: fs, rack: -1}
 	if nicCapacity > 0 {
 		c.nic = fs.net.AddResource(name+"/nic", nicCapacity)
 	}
 	return c
 }
 
+// NewClientInRack mounts the file system on a compute node placed in the
+// given rack. Rack modelling must be on and the rack must exist.
+func (fs *FileSystem) NewClientInRack(name string, nicCapacity float64, rack int) *Client {
+	if rack < 0 || rack >= len(fs.rackUplink) {
+		panic(fmt.Sprintf("beegfs: client %q placed in rack %d of %d", name, rack, len(fs.rackUplink)))
+	}
+	c := fs.NewClient(name, nicCapacity)
+	c.rack = rack
+	return c
+}
+
 // NIC returns the client's network link resource (nil if unconstrained).
 func (c *Client) NIC() *simnet.Resource { return c.nic }
+
+// Rack returns the client's rack index, or -1 when unplaced.
+func (c *Client) Rack() int { return c.rack }
 
 // Create creates a file at path. The stripe count comes from the pattern
 // configured for the containing directory (unless overridden via
@@ -394,6 +467,35 @@ func (fs *FileSystem) CreateWithPattern(path string, p StripePattern, src *rng.S
 		return nil, err
 	}
 	f := &File{Path: path, Pattern: p, Targets: targets}
+	if err := fs.meta.create(path, f); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// CreateWithTargets creates a file striped over an explicit target list,
+// bypassing the system chooser — the analog of pinning targets with
+// beegfs-ctl --setpattern --storagetargets. The rack-aware scale workload
+// uses it for rack-local placement, which the FS-global Chooser cannot
+// express. The pattern's Count is forced to len(targets); every target
+// must be registered and currently selectable.
+func (fs *FileSystem) CreateWithTargets(path string, p StripePattern, targets []*storagesim.Target) (*File, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("beegfs: CreateWithTargets %q: empty target list", path)
+	}
+	p.Count = len(targets)
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	for i, t := range targets {
+		if t == nil {
+			return nil, fmt.Errorf("beegfs: CreateWithTargets %q: nil target at stripe %d", path, i)
+		}
+		if !fs.replicaAvailable(t) {
+			return nil, fmt.Errorf("beegfs: CreateWithTargets %q: target %d is not selectable", path, t.ID)
+		}
+	}
+	f := &File{Path: path, Pattern: p, Targets: append([]*storagesim.Target(nil), targets...)}
 	if err := fs.meta.create(path, f); err != nil {
 		return nil, err
 	}
@@ -840,6 +942,12 @@ func (fs *FileSystem) issue(plan *ioPlan, volMiB float64) (*simnet.Flow, error) 
 		}
 		hostShare := fs.hostShare
 		clear(hostShare)
+		// rackShare accumulates in the deterministic target slice order
+		// (and is emitted by index below), never in map-iteration order:
+		// float accumulation order must not depend on map layout.
+		clientRack := op.Client.rack
+		rackShare := fs.rackShare
+		crossTotal := 0.0
 		addSide := func(targets []*storagesim.Target) {
 			for i, t := range targets {
 				if t == nil || plan.dist[i] == 0 {
@@ -848,6 +956,12 @@ func (fs *FileSystem) issue(plan *ioPlan, volMiB float64) (*simnet.Flow, error) 
 				w := float64(plan.dist[i]) / total
 				usage = append(usage, simnet.ResourceShare{Res: t.Resource(), W: w})
 				hostShare[t.Host()] += w
+				if rackShare != nil {
+					if r := fs.rackOf[t.Host()]; r != clientRack {
+						rackShare[r] += w
+						crossTotal += w
+					}
+				}
 			}
 		}
 		addSide(primaries)
@@ -859,6 +973,22 @@ func (fs *FileSystem) issue(plan *ioPlan, volMiB float64) (*simnet.Flow, error) 
 			usage = append(usage, simnet.ResourceShare{Res: h.Controller(), W: w})
 			if nic := fs.serverNIC[h]; nic != nil {
 				usage = append(usage, simnet.ResourceShare{Res: nic, W: w})
+			}
+		}
+		if rackShare != nil {
+			// Cross-rack traffic exits each server rack's uplink with that
+			// rack's share, and (for a placed client) enters the client's
+			// rack through its own uplink with the summed share. Rack-local
+			// traffic never appears here — that asymmetry is what rack-aware
+			// target allocation exploits.
+			for r, w := range rackShare {
+				if w != 0 {
+					usage = append(usage, simnet.ResourceShare{Res: fs.rackUplink[r], W: w})
+					rackShare[r] = 0
+				}
+			}
+			if clientRack >= 0 && crossTotal != 0 {
+				usage = append(usage, simnet.ResourceShare{Res: fs.rackUplink[clientRack], W: crossTotal})
 			}
 		}
 		if op.Client.nic != nil {

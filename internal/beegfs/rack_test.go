@@ -1,0 +1,148 @@
+package beegfs
+
+import (
+	"testing"
+
+	"repro/internal/simkernel"
+	"repro/internal/storagesim"
+)
+
+// rackConfig: 4 hosts in 2 racks of 2, tight 500 MiB/s uplinks, fast
+// targets so the uplink is the bottleneck for cross-rack I/O.
+func rackConfig() Config {
+	cfg := testConfig()
+	cfg.Hosts = 4
+	cfg.TargetsPerHost = 2
+	cfg.RackHosts = 2
+	cfg.RackUplinkCapacity = 500
+	return cfg
+}
+
+func TestRackConfigValidation(t *testing.T) {
+	good := rackConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.RackHosts = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative RackHosts accepted")
+	}
+	bad = good
+	bad.RackUplinkCapacity = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("RackHosts without RackUplinkCapacity accepted")
+	}
+	bad = good
+	bad.RackHosts = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("RackUplinkCapacity without RackHosts accepted")
+	}
+}
+
+func TestRackAssignment(t *testing.T) {
+	_, fs := newFS(t, rackConfig())
+	if fs.Racks() != 2 {
+		t.Fatalf("Racks() = %d, want 2", fs.Racks())
+	}
+	hosts := fs.Storage().Hosts()
+	wantRack := []int{0, 0, 1, 1}
+	for i, h := range hosts {
+		if got := fs.RackOf(h); got != wantRack[i] {
+			t.Fatalf("RackOf(%s) = %d, want %d", h.Name, got, wantRack[i])
+		}
+	}
+	// Rack modelling off: RackOf reports unplaced.
+	_, plain := newFS(t, testConfig())
+	if plain.Racks() != 0 || plain.RackOf(plain.Storage().Hosts()[0]) != -1 {
+		t.Fatal("rack accessors leak state with rack modelling off")
+	}
+}
+
+// rackTargets returns all targets whose host lives in rack r.
+func rackTargets(fs *FileSystem, r int) []*storagesim.Target {
+	var out []*storagesim.Target
+	for _, tg := range fs.Mgmtd().All() {
+		if fs.RackOf(tg.Host()) == r {
+			out = append(out, tg)
+		}
+	}
+	return out
+}
+
+// TestRackUplinkBottleneck pins the asymmetry the scale campaign measures:
+// the same client, volume and stripe width hit the uplink cap only when
+// the targets live in the other rack.
+func TestRackUplinkBottleneck(t *testing.T) {
+	run := func(targetRack int) float64 {
+		sim, fs := newFS(t, rackConfig())
+		client := fs.NewClientInRack("c0", 0, 0)
+		f, err := fs.CreateWithTargets("/f", StripePattern{ChunkSize: 512 * KiB}, rackTargets(fs, targetRack))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var done simkernel.Time
+		op := &WriteOp{
+			Client: client, File: f, Length: 1000 * MiB,
+			TransferSize: 8 * MiB,
+			OnComplete:   func(at simkernel.Time) { done = at },
+		}
+		if _, err := fs.StartWrite(op); err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if done == 0 {
+			t.Fatal("write did not complete")
+		}
+		return 1000 / float64(done)
+	}
+	local := run(0)
+	cross := run(1)
+	if !almost(cross, 500, 1) {
+		t.Fatalf("cross-rack bandwidth = %.1f MiB/s, want uplink cap 500", cross)
+	}
+	if local <= cross*1.5 {
+		t.Fatalf("rack-local bandwidth %.1f not clearly above cross-rack %.1f", local, cross)
+	}
+}
+
+func TestCreateWithTargetsValidation(t *testing.T) {
+	_, fs := newFS(t, rackConfig())
+	p := StripePattern{ChunkSize: 512 * KiB}
+	if _, err := fs.CreateWithTargets("/empty", p, nil); err == nil {
+		t.Fatal("empty target list accepted")
+	}
+	if _, err := fs.CreateWithTargets("/nil", p, []*storagesim.Target{nil}); err == nil {
+		t.Fatal("nil target accepted")
+	}
+	tg := fs.Mgmtd().All()[0]
+	tg.SetFailed(true)
+	if _, err := fs.CreateWithTargets("/down", p, []*storagesim.Target{tg}); err == nil {
+		t.Fatal("failed target accepted")
+	}
+	tg.SetFailed(false)
+	f, err := fs.CreateWithTargets("/ok", p, rackTargets(fs, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Pattern.Count != 4 || len(f.Targets) != 4 {
+		t.Fatalf("pattern count = %d targets = %d, want 4/4", f.Pattern.Count, len(f.Targets))
+	}
+	for _, tg := range f.Targets {
+		if fs.RackOf(tg.Host()) != 1 {
+			t.Fatalf("target %d not in requested rack", tg.ID)
+		}
+	}
+}
+
+func TestNewClientInRackGuards(t *testing.T) {
+	_, fs := newFS(t, rackConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range rack accepted")
+		}
+	}()
+	fs.NewClientInRack("c", 0, 2)
+}

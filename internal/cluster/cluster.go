@@ -127,12 +127,48 @@ func PlaFRIM(s Scenario) Platform {
 	return p
 }
 
+// ShapeError reports an invalid topology dimension passed to a platform
+// builder (Custom, FatTree). Builders return it instead of panicking so
+// CLIs and spec files can tell the user which dimension was wrong.
+type ShapeError struct {
+	// Builder is the platform builder that rejected the shape.
+	Builder string
+	// Field is the offending dimension and Value its rejected value.
+	Field string
+	Value float64
+}
+
+// Error implements error.
+func (e *ShapeError) Error() string {
+	return fmt.Sprintf("cluster: %s: %s = %g is out of range", e.Builder, e.Field, e.Value)
+}
+
+// checkShape validates the dimensions common to all platform builders.
+func checkShape(builder string, nHosts, targetsPerHost int, linkRate float64, chooser beegfs.TargetChooser) error {
+	switch {
+	case nHosts <= 0:
+		return &ShapeError{Builder: builder, Field: "hosts", Value: float64(nHosts)}
+	case targetsPerHost <= 0:
+		return &ShapeError{Builder: builder, Field: "targets per host", Value: float64(targetsPerHost)}
+	case linkRate <= 0:
+		return &ShapeError{Builder: builder, Field: "link rate", Value: linkRate}
+	case chooser == nil:
+		return &ShapeError{Builder: builder, Field: "chooser", Value: 0}
+	}
+	return nil
+}
+
 // Custom builds a platform for an arbitrary deployment: nHosts storage
 // hosts with targetsPerHost OSTs each, and symmetric client/server links
 // of linkRate MiB/s (raw; protocol efficiency is applied). The storage
 // device model reuses the PlaFRIM calibration. Used by
 // examples/customplatform to exercise the paper's methodology elsewhere.
-func Custom(name string, nHosts, targetsPerHost int, linkRate float64, chooser beegfs.TargetChooser) Platform {
+// An out-of-range shape returns a *ShapeError instead of deploying a
+// platform that would only fail (or panic) later.
+func Custom(name string, nHosts, targetsPerHost int, linkRate float64, chooser beegfs.TargetChooser) (Platform, error) {
+	if err := checkShape("Custom", nHosts, targetsPerHost, linkRate, chooser); err != nil {
+		return Platform{}, err
+	}
 	fs := beegfs.Config{
 		Storage:           storagesim.PlaFRIMConfig(),
 		Hosts:             nHosts,
@@ -157,7 +193,7 @@ func Custom(name string, nHosts, targetsPerHost int, linkRate float64, chooser b
 		ServerNICJitterCV: 0.02,
 		SetupMean:         0.25,
 		SetupCV:           0.4,
-	}
+	}, nil
 }
 
 // Deployment is a live simulated instance of a platform: a simulation
@@ -170,6 +206,8 @@ type Deployment struct {
 	FS       *beegfs.FileSystem
 
 	clients []*beegfs.Client
+	// rackClients pools the rack-placed nodes of NodesInRack.
+	rackClients map[int][]*beegfs.Client
 	// base capacities for jitter restoration
 	serverNICBase float64
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/beegfs"
@@ -118,7 +119,10 @@ func TestReJitterMovesServerNIC(t *testing.T) {
 }
 
 func TestCustomPlatform(t *testing.T) {
-	p := Custom("quad", 4, 4, 2500, &beegfs.BalancedChooser{})
+	p, err := Custom("quad", 4, 4, 2500, &beegfs.BalancedChooser{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if p.FS.Hosts != 4 {
 		t.Fatalf("hosts = %d", p.FS.Hosts)
 	}
@@ -135,7 +139,10 @@ func TestCustomPlatform(t *testing.T) {
 }
 
 func TestCustomClampsDefaultCount(t *testing.T) {
-	p := Custom("tiny", 1, 2, 1250, &beegfs.RoundRobinChooser{})
+	p, err := Custom("tiny", 1, 2, 1250, &beegfs.RoundRobinChooser{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if p.FS.DefaultPattern.Count != 2 {
 		t.Fatalf("default count = %d, want clamped to 2", p.FS.DefaultPattern.Count)
 	}
@@ -226,5 +233,71 @@ func TestSpecOf(t *testing.T) {
 	}
 	if p2.FS.ServerNICCapacity != p.FS.ServerNICCapacity {
 		t.Fatal("base calibration lost in round trip")
+	}
+}
+
+func TestCustomRejectsBadShapes(t *testing.T) {
+	cases := []struct {
+		name  string
+		do    func() (Platform, error)
+		field string
+	}{
+		{"zero hosts", func() (Platform, error) { return Custom("x", 0, 4, 2500, &beegfs.RoundRobinChooser{}) }, "hosts"},
+		{"zero targets", func() (Platform, error) { return Custom("x", 2, 0, 2500, &beegfs.RoundRobinChooser{}) }, "targets per host"},
+		{"zero link", func() (Platform, error) { return Custom("x", 2, 4, 0, &beegfs.RoundRobinChooser{}) }, "link rate"},
+		{"nil chooser", func() (Platform, error) { return Custom("x", 2, 4, 2500, nil) }, "chooser"},
+	}
+	for _, tc := range cases {
+		_, err := tc.do()
+		var se *ShapeError
+		if !errors.As(err, &se) {
+			t.Fatalf("%s: error = %v, want *ShapeError", tc.name, err)
+		}
+		if se.Field != tc.field {
+			t.Fatalf("%s: field = %q, want %q", tc.name, se.Field, tc.field)
+		}
+	}
+}
+
+func TestFatTreePlatform(t *testing.T) {
+	p, err := FatTree("dc", FatTreeSpec{
+		Racks: 4, OSSPerRack: 3, TargetsPerOSS: 4,
+		LinkRate: 2500, UplinkRate: 5000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.FS.Hosts != 12 || p.FS.RackHosts != 3 {
+		t.Fatalf("hosts = %d rackHosts = %d, want 12/3", p.FS.Hosts, p.FS.RackHosts)
+	}
+	if p.FS.ClientA != 0 {
+		t.Fatal("fat-tree preset must not enable the global client ramp")
+	}
+	dep, err := p.Deploy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dep.FS.Racks(); got != 4 {
+		t.Fatalf("racks = %d, want 4", got)
+	}
+	if got := len(dep.FS.Storage().Targets()); got != 48 {
+		t.Fatalf("targets = %d, want 48", got)
+	}
+	nodes := dep.NodesInRack(2, 3)
+	if len(nodes) != 3 || nodes[0].Rack() != 2 {
+		t.Fatalf("NodesInRack gave %d nodes, rack %d", len(nodes), nodes[0].Rack())
+	}
+	// Pooled: asking again returns the same clients.
+	again := dep.NodesInRack(2, 2)
+	if again[0] != nodes[0] || again[1] != nodes[1] {
+		t.Fatal("NodesInRack did not reuse pooled clients")
+	}
+
+	if _, err := FatTree("bad", FatTreeSpec{Racks: 0, OSSPerRack: 1, TargetsPerOSS: 1, LinkRate: 1, UplinkRate: 1}); err == nil {
+		t.Fatal("zero racks accepted")
+	}
+	var se *ShapeError
+	if _, err := FatTree("bad", FatTreeSpec{Racks: 2, OSSPerRack: 2, TargetsPerOSS: 2, LinkRate: 2500, UplinkRate: 0}); !errors.As(err, &se) {
+		t.Fatalf("zero uplink: error = %v, want *ShapeError", err)
 	}
 }

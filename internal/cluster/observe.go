@@ -58,6 +58,13 @@ func (st *RunStats) FlushTo(reg *obs.Registry) {
 	reg.Add("simnet/warmstart_hits", n.WarmHits)
 	reg.Add("simnet/warmstart_misses", n.WarmMisses)
 	reg.Add("simnet/warmstart_replayed_passes", n.WarmReplayedPasses)
+	// Batched-mode counters; all zero when SetBatching is off. Like every
+	// simnet counter they are worker-count-independent (ParallelSolves is
+	// defined by batch shape, not by pool execution), so the registry stays
+	// deterministic at any -workers setting.
+	reg.Add("simnet/solve_batches", n.SolveBatches)
+	reg.Add("simnet/components_dirty", n.ComponentsDirty)
+	reg.Add("simnet/parallel_solves", n.ParallelSolves)
 
 	f := &st.FS
 	reg.Add("beegfs/write_ops", f.WriteOps)
@@ -101,6 +108,12 @@ func (d *Deployment) AttachTracer(t *obs.Tracer) {
 			"replayed_passes": info.ReplayedPasses,
 		})
 	})
+	d.Net.ObserveBatches(func(at simkernel.Time, info simnet.BatchInfo) {
+		t.Instant("solver", "batch", float64(at), map[string]any{
+			"components": info.Components,
+			"workers":    info.Workers,
+		})
+	})
 	d.Net.ObserveResources(func(at simkernel.Time, r *simnet.Resource, load float64) {
 		// Server-side resources only: "ost<id>", "oss<h>/ctl", "oss<h>/nic".
 		if strings.HasPrefix(r.Name, "ost") || strings.HasPrefix(r.Name, "oss") {
@@ -132,6 +145,7 @@ func (d *Deployment) AttachTracer(t *obs.Tracer) {
 // a deployment reused for further repetitions stops recording.
 func (d *Deployment) DetachObservers() {
 	d.Net.ObserveSolves(nil)
+	d.Net.ObserveBatches(nil)
 	d.Net.ObserveResources(nil)
 	d.FS.Mgmtd().SetReachObserver(nil)
 	d.FS.SetOpObserver(nil)

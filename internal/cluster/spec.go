@@ -50,7 +50,11 @@ func (s Spec) Platform() (Platform, error) {
 		if tph == 0 {
 			tph = 4
 		}
-		p = Custom(s.Name, hosts, tph, s.LinkRateMiBs, &beegfs.RoundRobinChooser{})
+		var err error
+		p, err = Custom(s.Name, hosts, tph, s.LinkRateMiBs, &beegfs.RoundRobinChooser{})
+		if err != nil {
+			return p, err
+		}
 	default:
 		return p, fmt.Errorf("cluster: unknown base %q (want scenario1, scenario2 or custom)", s.Base)
 	}

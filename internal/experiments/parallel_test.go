@@ -107,6 +107,20 @@ func TestSerialParallelEquivalence(t *testing.T) {
 		{"ext-resilience", func(w int) (any, error) { return ExtResilience(opts(w, 2)) }},
 		{"ext-chaos", func(w int) (any, error) { return ExtChaos(opts(w, 2)) }},
 		{"policies", func(w int) (any, error) { return ComparePolicies(2, opts(w, 3)) }},
+		// The scale campaign's rows carry wall-clock fields by design;
+		// everything else — job bandwidths, concurrency, event and solve
+		// counts — must be bit-identical at any worker count.
+		{"ext-scale", func(w int) (any, error) {
+			rows, err := ExtScale(opts(w, 2))
+			if err != nil {
+				return nil, err
+			}
+			det := make([]ExtScaleRow, len(rows))
+			for i, r := range rows {
+				det[i] = r.Deterministic()
+			}
+			return det, nil
+		}},
 		{"interference", func(w int) (any, error) {
 			proto := Protocol{Repetitions: 6, BlockSize: 3, MinWait: 0.5, MaxWait: 2, Seed: 13}
 			return Campaign{

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// churn10kTopo floods the large fat tree: arrivals far faster than
+// completions, so nearly every job is still in flight when the last one
+// arrives — north of 10k concurrent flows at peak.
+var churn10kTopo = scaleTopo{
+	name: "churn10k",
+	spec: cluster.FatTreeSpec{
+		Racks: 12, OSSPerRack: 4, TargetsPerOSS: 8,
+		LinkRate: 2500, UplinkRate: 10000,
+	},
+	meanGap:     0.004,
+	nodesBase:   4,
+	nodesSpread: 4,
+}
+
+const churn10kJobs = 4000
+
+// benchmarkScaleChurn runs the full 10k-flow churn once per iteration and
+// reports solver work per simulated event. The acceptance numbers live in
+// BENCH_PR7.json as informational entries (not CI-gated — a full churn is
+// too long for the bench-smoke job): batched mode must sustain >=10k
+// concurrent flows and improve ns per event by >=3x over unbatched.
+// Run with -benchtime 1x.
+func benchmarkScaleChurn(b *testing.B, mode string, workers int) {
+	for i := 0; i < b.N; i++ {
+		row, err := runScaleCell(churn10kTopo, mode, workers, churn10kJobs, 17)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if row.PeakFlows < 10_000 {
+			b.Fatalf("peak concurrent flows = %d, want >= 10000", row.PeakFlows)
+		}
+		b.ReportMetric(row.WallSec*1e9/float64(row.Events), "ns/event")
+		b.ReportMetric(row.SolvesPerEvent, "solves/event")
+		b.ReportMetric(float64(row.PeakFlows), "peak-flows")
+	}
+}
+
+func BenchmarkScaleChurn10k(b *testing.B) {
+	b.Run("unbatched", func(b *testing.B) { benchmarkScaleChurn(b, "unbatched", 0) })
+	b.Run("batched", func(b *testing.B) { benchmarkScaleChurn(b, "batched", scaleBatchWorkers) })
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestExtScaleModesAgreeAndBatchingHelps runs the small-topology churn
+// and checks both halves of the campaign's contract: the batched cell
+// reproduces the unbatched cell's simulated results exactly, while doing
+// strictly less solver work per event.
+func TestExtScaleModesAgreeAndBatchingHelps(t *testing.T) {
+	rows, err := ExtScale(Options{Reps: 3, Seed: 9, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (small topology, two modes)", len(rows))
+	}
+	un, ba := rows[0], rows[1]
+	if un.Mode != "unbatched" || ba.Mode != "batched" {
+		t.Fatalf("mode order = %q, %q", un.Mode, ba.Mode)
+	}
+	if un.Jobs != 36 || ba.Jobs != 36 {
+		t.Fatalf("jobs = %d/%d, want 36", un.Jobs, ba.Jobs)
+	}
+	if math.Float64bits(un.BWMean) != math.Float64bits(ba.BWMean) {
+		t.Fatalf("mean job bandwidth diverged: %v vs %v", un.BWMean, ba.BWMean)
+	}
+	if un.PeakFlows != ba.PeakFlows || un.PeakFlows < 8 {
+		t.Fatalf("peak flows = %d/%d, want equal and non-trivial", un.PeakFlows, ba.PeakFlows)
+	}
+	if ba.Solves >= un.Solves {
+		t.Fatalf("batched solves %d not below unbatched %d", ba.Solves, un.Solves)
+	}
+	if ba.SolvesPerEvent >= un.SolvesPerEvent {
+		t.Fatalf("batched solves/event %.3f not below unbatched %.3f", ba.SolvesPerEvent, un.SolvesPerEvent)
+	}
+	if un.BWMean <= 0 || un.BWMin <= 0 || un.BWMax < un.BWMean {
+		t.Fatalf("implausible bandwidth summary: %+v", un)
+	}
+	if un.Racks != 4 || un.Targets != 32 {
+		t.Fatalf("topology = %d racks / %d targets, want 4/32", un.Racks, un.Targets)
+	}
+}

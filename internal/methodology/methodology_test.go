@@ -72,7 +72,10 @@ func TestRunOnPlaFRIMScenario1(t *testing.T) {
 func TestRunOnCustomPlatform(t *testing.T) {
 	// The methodology generalizes: a 3-host system with a balanced
 	// chooser still recommends the maximum count.
-	p := cluster.Custom("tri", 3, 2, 2500, &beegfs.BalancedChooser{})
+	p, err := cluster.Custom("tri", 3, 2, 2500, &beegfs.BalancedChooser{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	rep, err := Run(p, fastOpts(6, 2))
 	if err != nil {
 		t.Fatal(err)

@@ -201,6 +201,17 @@ func (s *Simulation) Executed() uint64 { return s.executed }
 // Pending returns the number of events currently queued.
 func (s *Simulation) Pending() int { return len(s.queue) }
 
+// NextAt returns the virtual time of the earliest pending event, and
+// whether one exists. Instant-boundary drivers (the batched-mode
+// differential harnesses) use it to step the queue one whole instant at a
+// time: fire events while NextAt stays equal, then compare state.
+func (s *Simulation) NextAt() (Time, bool) {
+	if len(s.queue) == 0 {
+		return 0, false
+	}
+	return s.queue[0].when, true
+}
+
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: it always indicates a model bug.
 func (s *Simulation) At(t Time, fn func()) *Event {

@@ -289,3 +289,71 @@ func BenchmarkScheduleAndRun(b *testing.B) {
 		}
 	}
 }
+
+// TestRequeueBarrier pins the property simnet's batched flush is built
+// on: re-queueing a fired event at the *current* instant gives it a
+// fresh sequence number, so it fires after every event already queued at
+// that instant — it is a same-instant barrier. Cascading events that
+// re-arm the barrier form successive waves within the one instant.
+func TestRequeueBarrier(t *testing.T) {
+	s := New()
+	var order []string
+	var barrier *Event
+	barrier = s.At(0, func() { order = append(order, "flush") })
+	// Three same-instant events queued after the barrier's first firing
+	// each "arm" it again by re-queueing it at now.
+	for _, name := range []string{"a", "b", "c"} {
+		s.At(1, func() {
+			order = append(order, name)
+			s.Reschedule(barrier, s.Now())
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The barrier fires once at t=0, then exactly once more at t=1, after
+	// all three events — the last two re-arms re-queue a *pending* event
+	// to its current time, which is a no-op on its rank.
+	want := []string{"flush", "a", "b", "c", "flush"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if s.Now() != 1 {
+		t.Fatalf("clock = %v, want 1", s.Now())
+	}
+}
+
+// TestNextAt checks the earliest-pending-time probe used by the
+// instant-lockstep differential harnesses.
+func TestNextAt(t *testing.T) {
+	s := New()
+	if _, ok := s.NextAt(); ok {
+		t.Fatal("NextAt on empty queue reported an event")
+	}
+	s.At(3, func() {})
+	s.At(1, func() {
+		s.At(1, func() {}) // same-instant cascade keeps NextAt at now
+	})
+	if at, ok := s.NextAt(); !ok || at != 1 {
+		t.Fatalf("NextAt = %v, %v; want 1, true", at, ok)
+	}
+	s.Step()
+	if at, ok := s.NextAt(); !ok || at != 1 {
+		t.Fatalf("NextAt after cascade = %v, %v; want 1, true", at, ok)
+	}
+	s.Step()
+	if at, ok := s.NextAt(); !ok || at != 3 {
+		t.Fatalf("NextAt = %v, %v; want 3, true", at, ok)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.NextAt(); ok {
+		t.Fatal("NextAt after drain reported an event")
+	}
+}

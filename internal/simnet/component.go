@@ -22,6 +22,13 @@ import "sort"
 // the same arithmetic the global solve performed whenever the component
 // spans the whole active set.
 type component struct {
+	// id is a network-unique creation number, re-assigned every time a
+	// pooled struct is brought back into service. Batched flushes solve
+	// dirty components in id order, which makes the merge of a parallel
+	// solve deterministic: component creation is single-threaded event
+	// processing, so ids — unlike pool-slot pointers — are a reproducible
+	// total order.
+	id uint64
 	// flows is (Name, seq)-sorted: the scoped solver input order.
 	flows []*Flow
 	// capped holds the component's flows with a rate cap, in ascending
@@ -52,6 +59,17 @@ type component struct {
 	// rebalance warm-starts from it instead of re-solving from scratch.
 	// Any other mutation (merge, rebuild, reset) invalidates it.
 	traj trajectory
+
+	// Batched-mode bookkeeping (see batch.go). dirty marks the component
+	// as awaiting its once-per-instant solve; pendEvents counts the events
+	// that touched it this instant; pendRemoved is the single detached
+	// flow when pendEvents == 1 (the warm-start hint — any second event
+	// clears it); pendTrig is the trigger of the event that first dirtied
+	// the component, for stats classification.
+	dirty       bool
+	pendEvents  int
+	pendRemoved *Flow
+	pendTrig    SolveTrigger
 }
 
 // flowBefore is the canonical in-component flow order: by name, then by
@@ -158,6 +176,10 @@ func (c *component) reset() {
 	c.stale = false
 	c.mark = false
 	c.removals = 0
+	c.dirty = false
+	c.pendEvents = 0
+	c.pendRemoved = nil
+	c.pendTrig = 0
 	c.traj.valid = false
 	// The trajectory arenas keep their capacity for reuse, but a pooled
 	// component must not pin flows or resources through the unused
@@ -180,6 +202,8 @@ func (n *Network) newComp() *component {
 	} else {
 		c = &component{}
 	}
+	c.id = n.nextCompID
+	n.nextCompID++
 	n.comps = append(n.comps, c)
 	return c
 }

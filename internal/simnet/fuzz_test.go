@@ -89,10 +89,11 @@ type fzWorld struct {
 	log     []string
 }
 
-func buildWorld(sc fzScenario, forceGlobal bool, onOp func(w *fzWorld)) *fzWorld {
+func buildWorld(sc fzScenario, forceGlobal bool, batchWorkers int, onOp func(w *fzWorld)) *fzWorld {
 	w := &fzWorld{sim: simkernel.New()}
 	w.net = New(w.sim)
 	w.net.forceGlobal = forceGlobal
+	w.net.SetBatching(batchWorkers)
 	for i, c := range sc.caps {
 		w.res = append(w.res, w.net.AddResource(fmt.Sprintf("r%d", i), c))
 	}
@@ -385,6 +386,137 @@ func fzLargeSingleComponent(t *testing.T, data []byte) {
 	}
 }
 
+// decodeClusteredScenario is decodeScenario with event clustering: only
+// about a quarter of the ops advance virtual time, so most land on the
+// same instant as their predecessor — exactly the same-instant arrival/
+// completion/capacity clusters the batched flush coalesces. Events that
+// actually collide at one instant are what distinguishes the batched and
+// event-at-a-time code paths; the spread-out decodeScenario script almost
+// never produces them.
+func decodeClusteredScenario(data []byte) fzScenario {
+	r := &fzReader{data: data}
+	var sc fzScenario
+	nRes := 3 + int(r.byte()%6)
+	sc.caps = make([]float64, nRes)
+	for i := range sc.caps {
+		sc.caps[i] = 25.0 * float64(1+int(r.byte()%40))
+	}
+	sc.shared = r.byte()&1 == 1
+	t := simkernel.Time(0.25)
+	for len(sc.ops) < 48 && !r.done() {
+		if r.byte()%4 == 0 {
+			t += simkernel.Time(0.25 + 0.25*float64(r.byte()%32))
+		}
+		k := r.byte() % 4
+		op := fop{at: t}
+		switch {
+		case k <= 1:
+			op.kind = fopStart
+			op.a, op.b, op.c = r.byte(), r.byte(), r.byte()
+		case k == 2:
+			op.kind = fopAbort
+			op.a = r.byte()
+		default:
+			op.kind = fopSetCap
+			op.a, op.b = r.byte(), r.byte()
+		}
+		sc.ops = append(sc.ops, op)
+	}
+	return sc
+}
+
+// runInstantLockstep drives two worlds built from the same scenario one
+// whole virtual instant at a time and compares the complete per-flow
+// state — rate, lazily settled remaining volume, done/in-flight — at
+// every instant boundary, with exact float bits. The two worlds may
+// differ in intra-instant event cadence (that is the point: batching
+// solves once per instant), but at each boundary they must agree to
+// 0 ULP, including on when the next event fires at all.
+func runInstantLockstep(t *testing.T, a, b *fzWorld, label string, checkB func()) {
+	t.Helper()
+	for {
+		atA, okA := a.sim.NextAt()
+		atB, okB := b.sim.NextAt()
+		if okA != okB || (okA && math.Float64bits(float64(atA)) != math.Float64bits(float64(atB))) {
+			t.Fatalf("%s: event queues desynchronized: next %v/%v vs %v/%v", label, atA, okA, atB, okB)
+		}
+		if !okA {
+			return
+		}
+		if err := a.sim.RunUntil(atA); err != nil {
+			t.Fatalf("%s: world A: %v", label, err)
+		}
+		if err := b.sim.RunUntil(atB); err != nil {
+			t.Fatalf("%s: world B: %v", label, err)
+		}
+		for i, fa := range a.started {
+			fb := b.started[i]
+			if math.Float64bits(fa.Rate()) != math.Float64bits(fb.Rate()) ||
+				math.Float64bits(fa.Remaining()) != math.Float64bits(fb.Remaining()) ||
+				fa.Done() != fb.Done() || fa.inNet != fb.inNet {
+				t.Fatalf("%s: flow %s diverged at t=%v: rate %x vs %x, remaining %x vs %x, done %v vs %v, inNet %v vs %v",
+					label, fa.Name, atA,
+					math.Float64bits(fa.Rate()), math.Float64bits(fb.Rate()),
+					math.Float64bits(fa.Remaining()), math.Float64bits(fb.Remaining()),
+					fa.Done(), fb.Done(), fa.inNet, fb.inNet)
+			}
+		}
+		if checkB != nil {
+			checkB()
+		}
+	}
+}
+
+// FuzzBatchedVsSequentialEvents drives same-instant event clusters
+// through three worlds: the event-at-a-time path, the batched path with
+// a serial flush, and the batched path with a fuzzed worker count. The
+// sequential and serial-batched worlds must agree on full flow state at
+// every instant boundary at 0 ULP (verifyNet additionally re-checks the
+// batched world's rates against the retained reference oracle at each
+// boundary, when it is clean). The two batched worlds share the same
+// event cadence, so their complete observable logs — every rate change,
+// completion and abort, float bits spelled out — must be byte-identical:
+// the component-id-ordered merge makes worker count invisible.
+func FuzzBatchedVsSequentialEvents(f *testing.F) {
+	f.Add([]byte{0x03, 0x10, 0x20, 0x30, 0x01, 0x00, 0x00, 0x04, 0x40, 0x07, 0x00, 0x02, 0x00, 0x00, 0x06, 0x81, 0x05})
+	f.Add([]byte{0x05, 0x08, 0x18, 0x28, 0x38, 0x48, 0x01, 0x00, 0x01, 0x03, 0x22, 0x33, 0x00, 0x44, 0x02, 0x05, 0x07, 0x00, 0x03, 0x06, 0x11})
+	f.Add([]byte{0xa1, 0x33, 0x07, 0x1f, 0x40, 0x00, 0x00, 0x00, 0x51, 0x2a, 0x00, 0x00, 0x62, 0x0d, 0x00, 0x00, 0x73, 0x18, 0x04, 0x00, 0x09})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		sc := decodeClusteredScenario(data[1:])
+		if len(sc.ops) == 0 {
+			return
+		}
+		workers := 2 + int(data[0]%3)
+		seq := buildWorld(sc, false, 0, nil)
+		bat := buildWorld(sc, false, 1, nil)
+		par := buildWorld(sc, false, workers, nil)
+		runInstantLockstep(t, seq, bat, "sequential vs batched", func() { verifyNet(t, bat.net) })
+		if err := par.sim.Run(); err != nil {
+			t.Fatalf("parallel-batched run: %v", err)
+		}
+		if len(bat.log) != len(par.log) {
+			t.Fatalf("serial-batched log has %d entries, %d-worker log %d\nserial: %v\nparallel: %v",
+				len(bat.log), workers, len(par.log), bat.log, par.log)
+		}
+		for i := range bat.log {
+			if bat.log[i] != par.log[i] {
+				t.Fatalf("batched logs diverge at %d with %d workers: %q vs %q", i, workers, bat.log[i], par.log[i])
+			}
+		}
+		for i, fb := range bat.started {
+			fp := par.started[i]
+			if math.Float64bits(fb.Rate()) != math.Float64bits(fp.Rate()) ||
+				math.Float64bits(fb.Remaining()) != math.Float64bits(fp.Remaining()) ||
+				fb.Done() != fp.Done() {
+				t.Fatalf("flow %s final state differs between 1 and %d workers", fb.Name, workers)
+			}
+		}
+	})
+}
+
 // FuzzIncrementalVsGlobalSolve drives random topologies through random
 // start/abort/SetCapacity scripts and checks the incremental
 // component-scoped engine two ways. Always: after every op, component
@@ -406,7 +538,7 @@ func FuzzIncrementalVsGlobalSolve(f *testing.F) {
 		if len(sc.ops) == 0 {
 			return
 		}
-		inc := buildWorld(sc, false, func(w *fzWorld) { verifyNet(t, w.net) })
+		inc := buildWorld(sc, false, 0, func(w *fzWorld) { verifyNet(t, w.net) })
 		if err := inc.sim.Run(); err != nil {
 			t.Fatalf("incremental run: %v", err)
 		}
@@ -415,7 +547,7 @@ func FuzzIncrementalVsGlobalSolve(f *testing.F) {
 		if !sc.shared {
 			return
 		}
-		ref := buildWorld(sc, true, nil)
+		ref := buildWorld(sc, true, 0, nil)
 		if err := ref.sim.Run(); err != nil {
 			t.Fatalf("reference run: %v", err)
 		}

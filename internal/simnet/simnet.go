@@ -346,6 +346,29 @@ type Network struct {
 	// solver scratch must never be package-level.
 	sv solver
 
+	// Batched-mode state (see batch.go). batchWorkers > 0 enables
+	// same-instant event batching; > 1 additionally fans independent dirty
+	// components over that many solver goroutines at flush time.
+	batchWorkers int
+	nextCompID   uint64
+	dirtyComps   []*component
+	flushComps   []*component
+	flushEvent   *simkernel.Event
+	flushArmed   bool
+	flushFn      func()
+	// Parallel-flush scratch: per-worker solvers (+ private stats merged
+	// after the join) and per-component solve outcomes, all indexed so the
+	// serial finish phase replays them in component-id order.
+	psv         []solver
+	workerStats []Stats
+	warmDone    []bool
+	livePasses  []int
+	replayedOf  []int
+	batchRates  []float64
+	rateOff     []int
+
+	batchObserver func(at simkernel.Time, info BatchInfo)
+
 	nextSeq  uint64
 	observer func(at simkernel.Time, f *Flow, rate float64)
 
@@ -415,6 +438,10 @@ func (n *Network) SetCapacity(r *Resource, capacity float64) {
 	now := n.sim.Now()
 	n.settleComp(r.comp, now)
 	r.capacity = capacity
+	if n.batchWorkers > 0 {
+		n.markDirty(r.comp, nil, TriggerCapacity)
+		return
+	}
 	n.rebalanceComp(r.comp, now, nil, TriggerCapacity)
 }
 
@@ -507,6 +534,14 @@ func (n *Network) Start(f *Flow) {
 			if frag.mark {
 				continue
 			}
+			if n.batchWorkers > 0 {
+				// Deferred mode: the fragment's solve joins the instant's
+				// batch. A fragment split off a component that was already
+				// dirty inherits its own mark here, so no pending work is
+				// lost across the split.
+				n.markDirty(frag, nil, TriggerStart)
+				continue
+			}
 			n.rebalanceComp(frag, now, nil, TriggerStart)
 		}
 		for i := range f.uses {
@@ -542,6 +577,10 @@ func (n *Network) Start(f *Flow) {
 	n.nActive++
 	n.retain(f, target)
 	f.inNet = true
+	if n.batchWorkers > 0 {
+		n.markDirty(target, nil, TriggerStart)
+		return
+	}
 	n.rebalanceComp(target, now, nil, TriggerStart)
 }
 
@@ -585,6 +624,8 @@ func (n *Network) Abort(f *Flow) {
 	}
 	if len(c.flows) == 0 {
 		n.dropComp(c)
+	} else if n.batchWorkers > 0 {
+		n.markDirty(c, f, TriggerAbort)
 	} else {
 		n.rebalanceComp(c, now, f, TriggerAbort)
 	}
@@ -704,6 +745,12 @@ func (n *Network) settleRescheduleAll() {
 		n.settleComp(c, now)
 	}
 	for _, c := range n.comps {
+		if c.dirty {
+			// Batched mode: this component's rates are stale until the
+			// instant's flush re-solves it, and the flush reschedules every
+			// one of its flows from the fresh rates anyway.
+			continue
+		}
 		for _, f := range c.flows {
 			n.scheduleCompletion(f, now)
 		}
@@ -822,6 +869,14 @@ func (n *Network) complete(f *Flow) {
 	if !f.inNet {
 		return
 	}
+	if n.batchWorkers > 0 && f.comp != nil && f.comp.dirty {
+		// The completion instant was derived from rates that a pending
+		// batched solve is about to replace, so it cannot be trusted. The
+		// flush reschedules this flow's (now fired) event from the fresh
+		// rates; if the flow really is done it completes right after the
+		// flush, in the same instant.
+		return
+	}
 	now := n.sim.Now()
 	c := n.detach(f, now)
 	f.event = nil
@@ -833,6 +888,8 @@ func (n *Network) complete(f *Flow) {
 	}
 	if len(c.flows) == 0 {
 		n.dropComp(c)
+	} else if n.batchWorkers > 0 {
+		n.markDirty(c, f, TriggerComplete)
 	} else {
 		n.rebalanceComp(c, now, f, TriggerComplete)
 	}

@@ -62,6 +62,17 @@ type Stats struct {
 	// WarmReplayedPasses sums the recorded passes warm starts replayed
 	// instead of recomputing.
 	WarmReplayedPasses uint64
+	// SolveBatches counts batched-mode flushes that solved at least one
+	// component (zero unless SetBatching is on).
+	SolveBatches uint64
+	// ComponentsDirty sums the dirty components solved across flushes;
+	// ComponentsDirty / SolveBatches is the mean batch width.
+	ComponentsDirty uint64
+	// ParallelSolves counts component solves belonging to multi-component
+	// flushes — the solves eligible for the worker pool. It is defined by
+	// batch shape, not by the configured worker count, so (like every
+	// other field) it is identical at any SetBatching worker setting.
+	ParallelSolves uint64
 }
 
 // SetStats attaches (or with nil detaches) a solver activity sink.
@@ -97,4 +108,20 @@ func (n *Network) ObserveSolves(fn func(at simkernel.Time, info SolveInfo)) {
 // nil to remove it. The callback must not mutate simulation state.
 func (n *Network) ObserveResources(fn func(at simkernel.Time, r *Resource, load float64)) {
 	n.resObserver = fn
+}
+
+// BatchInfo describes one batched-mode flush to a batch observer.
+type BatchInfo struct {
+	// Components is the number of dirty components this flush solved.
+	Components int
+	// Workers is the configured SetBatching worker count (the solve fans
+	// out only when both Components and Workers exceed one).
+	Workers int
+}
+
+// ObserveBatches registers a callback invoked once per batched-mode flush
+// that solved at least one component, before the solves run. Pass nil to
+// remove it. The callback must not mutate simulation state.
+func (n *Network) ObserveBatches(fn func(at simkernel.Time, info BatchInfo)) {
+	n.batchObserver = fn
 }
