@@ -45,6 +45,14 @@ type Config struct {
 	// and the I/O path pays no overhead. Both fields must be set together.
 	RackHosts          int
 	RackUplinkCapacity float64
+	// CoreCapacity, when positive, adds a single core-switch resource of
+	// this many MiB/s that every cross-rack transfer crosses in addition
+	// to the rack uplinks. An over-subscribed core couples all racks into
+	// one connected flow component — the single-component regime the
+	// hierarchical solver (simnet.SetHierarchical) decomposes along the
+	// uplink/core separator set. Requires RackHosts; zero (the default)
+	// creates no core resource and leaves the I/O path untouched.
+	CoreCapacity float64
 	// DefaultPattern is the root directory's stripe configuration.
 	DefaultPattern StripePattern
 	// Chooser is the system-wide target selection heuristic.
@@ -130,6 +138,18 @@ func (c Config) Validate() error {
 		return fmt.Errorf("beegfs: RackHosts and RackUplinkCapacity must be set together (got %d, %v)",
 			c.RackHosts, c.RackUplinkCapacity)
 	}
+	// NaN and +Inf sail through the sign checks above; a NaN capacity
+	// would silently produce rate-NaN flows that never complete.
+	if badCap(c.RackUplinkCapacity) || badCap(c.ServerNICCapacity) || badCap(c.CoreCapacity) {
+		return fmt.Errorf("beegfs: non-finite capacity (ServerNIC %v, RackUplink %v, Core %v)",
+			c.ServerNICCapacity, c.RackUplinkCapacity, c.CoreCapacity)
+	}
+	if c.CoreCapacity < 0 {
+		return fmt.Errorf("beegfs: negative CoreCapacity")
+	}
+	if c.CoreCapacity > 0 && c.RackHosts == 0 {
+		return fmt.Errorf("beegfs: CoreCapacity requires rack modelling (RackHosts)")
+	}
 	if err := c.DefaultPattern.Validate(); err != nil {
 		return err
 	}
@@ -183,6 +203,9 @@ type FileSystem struct {
 	// is off (Config.RackHosts == 0).
 	rackOf     map[*storagesim.Host]int
 	rackUplink []*simnet.Resource
+	// core is the shared core-switch resource crossed by all cross-rack
+	// traffic, nil when Config.CoreCapacity is 0.
+	core *simnet.Resource
 	// rackShare is issue's per-call scratch (rack → fraction of the op's
 	// rate crossing that rack's uplink), indexed by rack so accumulation
 	// follows the deterministic target slice order, never map order.
@@ -306,15 +329,42 @@ func New(sim *simkernel.Simulation, net *simnet.Network, cfg Config) (*FileSyste
 			fs.rackOf[h] = i / cfg.RackHosts
 		}
 		fs.rackShare = make([]float64, racks)
+		if cfg.CoreCapacity > 0 {
+			fs.core = net.AddResource("core", cfg.CoreCapacity)
+		}
 	}
 	return fs, nil
 }
+
+// badCap reports a capacity value the sign checks cannot catch.
+func badCap(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) }
 
 // Racks returns the number of storage racks (0 when rack modelling is off).
 func (fs *FileSystem) Racks() int { return len(fs.rackUplink) }
 
 // RackUplink returns rack r's uplink resource.
 func (fs *FileSystem) RackUplink(r int) *simnet.Resource { return fs.rackUplink[r] }
+
+// Core returns the core-switch resource, nil when CoreCapacity is 0.
+func (fs *FileSystem) Core() *simnet.Resource { return fs.core }
+
+// SeparatorResources returns the deployment's fabric aggregates — the
+// rack uplinks, the core switch and the client-stack ramp, whichever
+// exist — in a deterministic order. These are the resources that couple
+// otherwise rack-local flow components; declaring them to
+// simnet.SetSeparators lets the hierarchical solver decompose along them.
+// Empty when the deployment has no shared aggregates.
+func (fs *FileSystem) SeparatorResources() []*simnet.Resource {
+	var seps []*simnet.Resource
+	seps = append(seps, fs.rackUplink...)
+	if fs.core != nil {
+		seps = append(seps, fs.core)
+	}
+	if fs.clientRamp != nil {
+		seps = append(seps, fs.clientRamp)
+	}
+	return seps
+}
 
 // RackOf returns the rack index of a storage host (-1 when rack modelling
 // is off).
@@ -989,6 +1039,10 @@ func (fs *FileSystem) issue(plan *ioPlan, volMiB float64) (*simnet.Flow, error) 
 			}
 			if clientRack >= 0 && crossTotal != 0 {
 				usage = append(usage, simnet.ResourceShare{Res: fs.rackUplink[clientRack], W: crossTotal})
+			}
+			if fs.core != nil && crossTotal != 0 {
+				// Every cross-rack byte also transits the core switch.
+				usage = append(usage, simnet.ResourceShare{Res: fs.core, W: crossTotal})
 			}
 		}
 		if op.Client.nic != nil {

@@ -11,6 +11,7 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/beegfs"
 	"repro/internal/rng"
@@ -144,18 +145,27 @@ func (e *ShapeError) Error() string {
 }
 
 // checkShape validates the dimensions common to all platform builders.
+// Rates are rejected when non-positive or non-finite: NaN passes a plain
+// `<= 0` check and would deploy a platform whose flows run at rate NaN
+// and never complete.
 func checkShape(builder string, nHosts, targetsPerHost int, linkRate float64, chooser beegfs.TargetChooser) error {
 	switch {
 	case nHosts <= 0:
 		return &ShapeError{Builder: builder, Field: "hosts", Value: float64(nHosts)}
 	case targetsPerHost <= 0:
 		return &ShapeError{Builder: builder, Field: "targets per host", Value: float64(targetsPerHost)}
-	case linkRate <= 0:
+	case !positiveRate(linkRate):
 		return &ShapeError{Builder: builder, Field: "link rate", Value: linkRate}
 	case chooser == nil:
 		return &ShapeError{Builder: builder, Field: "chooser", Value: 0}
 	}
 	return nil
+}
+
+// positiveRate reports whether v is a usable capacity: positive and
+// finite.
+func positiveRate(v float64) bool {
+	return v > 0 && !math.IsInf(v, 1)
 }
 
 // Custom builds a platform for an arbitrary deployment: nHosts storage
@@ -219,6 +229,13 @@ func (p Platform) Deploy() (*Deployment, error) {
 	fs, err := beegfs.New(sim, net, p.FS)
 	if err != nil {
 		return nil, err
+	}
+	// Declare the fabric aggregates (rack uplinks, core switch, client
+	// ramp) as separators up front. The declaration is inert until a
+	// campaign opts into simnet.SetHierarchical, so every existing
+	// deployment is byte-identical with or without it.
+	if seps := fs.SeparatorResources(); len(seps) > 0 {
+		net.SetSeparators(seps...)
 	}
 	return &Deployment{
 		Platform:      p,

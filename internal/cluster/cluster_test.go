@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"errors"
+	"math"
 	"testing"
 
 	"repro/internal/beegfs"
@@ -299,5 +300,77 @@ func TestFatTreePlatform(t *testing.T) {
 	var se *ShapeError
 	if _, err := FatTree("bad", FatTreeSpec{Racks: 2, OSSPerRack: 2, TargetsPerOSS: 2, LinkRate: 2500, UplinkRate: 0}); !errors.As(err, &se) {
 		t.Fatalf("zero uplink: error = %v, want *ShapeError", err)
+	}
+}
+
+// TestFatTreeRejectsNonFiniteRates pins the validation hole a plain sign
+// check leaves open: NaN and +Inf uplink/link/core rates pass `<= 0` and
+// would deploy a fabric whose flows run at rate NaN (or uncapped) and
+// never complete. All must come back as *ShapeError.
+func TestFatTreeRejectsNonFiniteRates(t *testing.T) {
+	base := FatTreeSpec{Racks: 2, OSSPerRack: 2, TargetsPerOSS: 2, LinkRate: 2500, UplinkRate: 5000}
+	cases := []struct {
+		name  string
+		mut   func(*FatTreeSpec)
+		field string
+	}{
+		{"NaN uplink", func(s *FatTreeSpec) { s.UplinkRate = math.NaN() }, "uplink rate"},
+		{"+Inf uplink", func(s *FatTreeSpec) { s.UplinkRate = math.Inf(1) }, "uplink rate"},
+		{"NaN link", func(s *FatTreeSpec) { s.LinkRate = math.NaN() }, "link rate"},
+		{"+Inf link", func(s *FatTreeSpec) { s.LinkRate = math.Inf(1) }, "link rate"},
+		{"NaN core", func(s *FatTreeSpec) { s.CoreRate = math.NaN() }, "core rate"},
+		{"+Inf core", func(s *FatTreeSpec) { s.CoreRate = math.Inf(1) }, "core rate"},
+		{"negative core", func(s *FatTreeSpec) { s.CoreRate = -1 }, "core rate"},
+	}
+	for _, tc := range cases {
+		spec := base
+		tc.mut(&spec)
+		_, err := FatTree("bad", spec)
+		var se *ShapeError
+		if !errors.As(err, &se) {
+			t.Fatalf("%s: error = %v, want *ShapeError", tc.name, err)
+		}
+		if se.Field != tc.field {
+			t.Fatalf("%s: field = %q, want %q", tc.name, se.Field, tc.field)
+		}
+	}
+}
+
+// TestFatTreeCore checks the over-subscribed preset: a default core at a
+// quarter of the aggregate uplink rate, surfaced as a deployment-wide
+// separator set alongside the uplinks.
+func TestFatTreeCore(t *testing.T) {
+	p, err := FatTreeCore("dc-core", FatTreeSpec{
+		Racks: 4, OSSPerRack: 2, TargetsPerOSS: 2,
+		LinkRate: 2500, UplinkRate: 5000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCore := 4 * 5000.0 / 4 * protocolEfficiency
+	if p.FS.CoreCapacity != wantCore {
+		t.Fatalf("core capacity = %v, want %v", p.FS.CoreCapacity, wantCore)
+	}
+	dep, err := p.Deploy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.FS.Core() == nil {
+		t.Fatal("deployment has no core resource")
+	}
+	seps := dep.FS.SeparatorResources()
+	if len(seps) != 5 { // 4 uplinks + core
+		t.Fatalf("separator set has %d resources, want 5", len(seps))
+	}
+	// An explicit CoreRate wins over the preset default.
+	p2, err := FatTreeCore("dc-core2", FatTreeSpec{
+		Racks: 2, OSSPerRack: 2, TargetsPerOSS: 2,
+		LinkRate: 2500, UplinkRate: 5000, CoreRate: 1234,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.FS.CoreCapacity != 1234*protocolEfficiency {
+		t.Fatalf("explicit core capacity = %v, want %v", p2.FS.CoreCapacity, 1234*protocolEfficiency)
 	}
 }

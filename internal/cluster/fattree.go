@@ -25,6 +25,14 @@ type FatTreeSpec struct {
 	// allocation wins.
 	LinkRate   float64
 	UplinkRate float64
+	// CoreRate, when positive, is the raw capacity of a single core
+	// switch every cross-rack transfer crosses in addition to the two
+	// rack uplinks. A core smaller than Racks·UplinkRate is
+	// over-subscribed and fuses all racks' cross traffic into one
+	// connected flow component — the regime the hierarchical solver
+	// decomposes. Zero leaves the fabric core-less (rack components stay
+	// independent).
+	CoreRate float64
 	// Chooser is the system-wide fallback heuristic (rack-aware workloads
 	// bypass it via CreateWithTargets). Nil defaults to round-robin.
 	Chooser beegfs.TargetChooser
@@ -48,8 +56,13 @@ func FatTree(name string, spec FatTreeSpec) (Platform, error) {
 	if spec.Racks <= 0 {
 		return Platform{}, &ShapeError{Builder: "FatTree", Field: "racks", Value: float64(spec.Racks)}
 	}
-	if spec.UplinkRate <= 0 {
+	// positiveRate also rejects NaN and +Inf, which pass a plain sign
+	// check and would deploy uplinks whose flows never complete.
+	if !positiveRate(spec.UplinkRate) {
 		return Platform{}, &ShapeError{Builder: "FatTree", Field: "uplink rate", Value: spec.UplinkRate}
+	}
+	if spec.CoreRate != 0 && !positiveRate(spec.CoreRate) {
+		return Platform{}, &ShapeError{Builder: "FatTree", Field: "core rate", Value: spec.CoreRate}
 	}
 	if err := checkShape("FatTree", spec.Racks*spec.OSSPerRack, spec.TargetsPerOSS, spec.LinkRate, chooser); err != nil {
 		return Platform{}, err
@@ -66,6 +79,7 @@ func FatTree(name string, spec FatTreeSpec) (Platform, error) {
 		ServerNICCapacity:  spec.LinkRate * protocolEfficiency,
 		RackHosts:          spec.OSSPerRack,
 		RackUplinkCapacity: spec.UplinkRate * protocolEfficiency,
+		CoreCapacity:       spec.CoreRate * protocolEfficiency,
 		RetryTimeout:       0.5,
 		RetryBackoffBase:   0.5,
 		RetryMax:           8,
@@ -81,6 +95,20 @@ func FatTree(name string, spec FatTreeSpec) (Platform, error) {
 		SetupMean:         0.25,
 		SetupCV:           0.4,
 	}, nil
+}
+
+// FatTreeCore builds the over-subscribed single-core variant of the
+// spec: a core switch at one quarter of the racks' aggregate uplink rate
+// (unless spec.CoreRate already says otherwise), so cross-rack traffic
+// from every rack contends on one shared resource and the whole fabric
+// solves as a single connected component. This is the topology the
+// hierarchical solver's scale campaign (-fig hierscale) and
+// BenchmarkScaleChurn10k's core cells run on.
+func FatTreeCore(name string, spec FatTreeSpec) (Platform, error) {
+	if spec.CoreRate == 0 {
+		spec.CoreRate = float64(spec.Racks) * spec.UplinkRate / 4
+	}
+	return FatTree(name, spec)
 }
 
 // NodesInRack returns n compute nodes placed in the given rack, creating

@@ -65,6 +65,15 @@ func (st *RunStats) FlushTo(reg *obs.Registry) {
 	reg.Add("simnet/solve_batches", n.SolveBatches)
 	reg.Add("simnet/components_dirty", n.ComponentsDirty)
 	reg.Add("simnet/parallel_solves", n.ParallelSolves)
+	// Hierarchical-mode counters; all zero when SetHierarchical is off.
+	reg.Add("simnet/hier_solves", n.HierSolves)
+	reg.Add("simnet/hier_fallbacks", n.HierFallbacks)
+	reg.Add("simnet/hier_outer_rounds", n.HierOuterRounds)
+	reg.Add("simnet/hier_exact_fallbacks", n.HierExactFallbacks)
+	// The registry carries uint64 quantities, so the measured bounded-mode
+	// residual (a float in [0, maxRelErr]) is exported in parts per
+	// billion, max-merged like the underlying stat. 0 ppb = exact.
+	reg.Max("simnet/hier_max_rel_err", uint64(n.HierMaxRelErr*1e9))
 
 	f := &st.FS
 	reg.Add("beegfs/write_ops", f.WriteOps)
@@ -106,6 +115,7 @@ func (d *Deployment) AttachTracer(t *obs.Tracer) {
 			"live_passes":     info.LivePasses,
 			"warm_start":      info.WarmStart,
 			"replayed_passes": info.ReplayedPasses,
+			"hierarchical":    info.Hierarchical,
 		})
 	})
 	d.Net.ObserveBatches(func(at simkernel.Time, info simnet.BatchInfo) {

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestExtHierScaleModes runs the core-coupled churn and checks the
+// campaign's three-way contract: the hierarchical exact mode reproduces
+// the flat solver bit-for-bit while actually taking the partitioned path,
+// and the bounded-error mode completes the same jobs with its measured
+// residual inside the bound. The in-line enforcement inside ExtHierScale
+// already fails on violations; the test re-asserts the interesting fields
+// so a contract relaxation inside the campaign cannot pass silently.
+func TestExtHierScaleModes(t *testing.T) {
+	rows, err := ExtHierScale(Options{Reps: 2, Seed: 9, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (small topology, three modes)", len(rows))
+	}
+	flat, exact, approx := rows[0], rows[1], rows[2]
+	if flat.Mode != "flat" || exact.Mode != "hier-exact" || approx.Mode != "hier-approx" {
+		t.Fatalf("mode order = %q, %q, %q", flat.Mode, exact.Mode, approx.Mode)
+	}
+	if flat.Jobs != 24 || exact.Jobs != 24 || approx.Jobs != 24 {
+		t.Fatalf("jobs = %d/%d/%d, want 24", flat.Jobs, exact.Jobs, approx.Jobs)
+	}
+	if flat.HierSolves != 0 || flat.HierFallbacks != 0 {
+		t.Fatalf("flat mode recorded hierarchical work: %+v", flat)
+	}
+	if exact.HierSolves == 0 {
+		t.Fatalf("hier-exact never engaged: %+v", exact)
+	}
+	if math.Float64bits(exact.BWMean) != math.Float64bits(flat.BWMean) ||
+		math.Float64bits(exact.BWMin) != math.Float64bits(flat.BWMin) ||
+		math.Float64bits(exact.BWMax) != math.Float64bits(flat.BWMax) ||
+		exact.PeakFlows != flat.PeakFlows || exact.Events != flat.Events {
+		t.Fatalf("hier-exact diverged from flat:\nflat  %+v\nexact %+v", flat.Deterministic(), exact.Deterministic())
+	}
+	if approx.HierSolves == 0 || approx.OuterRounds == 0 {
+		t.Fatalf("hier-approx never ran the coordination loop: %+v", approx)
+	}
+	if approx.MaxRelErr > hierScaleBound {
+		t.Fatalf("hier-approx residual %g exceeds bound %g", approx.MaxRelErr, hierScaleBound)
+	}
+	if flat.BWMean <= 0 || flat.BWMin <= 0 || flat.BWMax < flat.BWMean {
+		t.Fatalf("implausible bandwidth summary: %+v", flat)
+	}
+	if flat.Racks != 4 || flat.Targets != 32 {
+		t.Fatalf("topology = %d racks / %d targets, want 4/32", flat.Racks, flat.Targets)
+	}
+}

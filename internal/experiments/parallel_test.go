@@ -121,6 +121,17 @@ func TestSerialParallelEquivalence(t *testing.T) {
 			}
 			return det, nil
 		}},
+		{"ext-hierscale", func(w int) (any, error) {
+			rows, err := ExtHierScale(opts(w, 2))
+			if err != nil {
+				return nil, err
+			}
+			det := make([]ExtHierScaleRow, len(rows))
+			for i, r := range rows {
+				det[i] = r.Deterministic()
+			}
+			return det, nil
+		}},
 		{"interference", func(w int) (any, error) {
 			proto := Protocol{Repetitions: 6, BlockSize: 3, MinWait: 0.5, MaxWait: 2, Seed: 13}
 			return Campaign{

@@ -43,7 +43,61 @@ func benchmarkScaleChurn(b *testing.B, mode string, workers int) {
 	}
 }
 
+// churnCoreTopo is the oversubscribed FatTreeCore shape: every rack
+// uplink shares the core switch, so the drain-pair traffic fuses the
+// whole fabric into ONE component and per-component batching cannot help
+// — the case the hierarchical solver exists for.
+var churnCoreTopo = hierScaleTopo{
+	name: "churn-core",
+	spec: cluster.FatTreeSpec{
+		Racks: 16, OSSPerRack: 4, TargetsPerOSS: 8,
+		LinkRate: 2500, UplinkRate: 10000,
+	},
+	meanGap:     0.004,
+	nodesBase:   4,
+	nodesSpread: 4,
+}
+
+const churnCoreJobs = 2600
+
+// benchmarkScaleChurnCore runs the single-component core churn once flat
+// and once hierarchically (exact mode, 8 workers) per iteration, reports
+// both per-event costs, and FAILS below the 3x improvement floor — the
+// PR's acceptance gate, enforced as a wall-clock ratio on the same run so
+// it holds on any hardware. Run with -benchtime 1x.
+func benchmarkScaleChurnCore(b *testing.B, hierWorkers int) {
+	for i := 0; i < b.N; i++ {
+		flat, err := runHierScaleCell(churnCoreTopo, "flat", 0, 0, 0, churnCoreJobs, 17)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hier, err := runHierScaleCell(churnCoreTopo, "hier-exact", 0, hierWorkers, 0, churnCoreJobs, 17)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if hier.PeakFlows < 10_000 {
+			b.Fatalf("peak concurrent flows = %d, want >= 10000", hier.PeakFlows)
+		}
+		if hier.HierSolves == 0 {
+			b.Fatal("hierarchical mode never engaged on the fused component")
+		}
+		if hier.Events != flat.Events || hier.BWMean != flat.BWMean {
+			b.Fatalf("exact mode diverged from flat: events %d vs %d, bw %v vs %v",
+				hier.Events, flat.Events, hier.BWMean, flat.BWMean)
+		}
+		imp := flat.WallSec / hier.WallSec
+		b.ReportMetric(hier.WallSec*1e9/float64(hier.Events), "ns/event")
+		b.ReportMetric(flat.WallSec*1e9/float64(flat.Events), "flat-ns/event")
+		b.ReportMetric(imp, "improvement")
+		b.ReportMetric(float64(hier.PeakFlows), "peak-flows")
+		if imp < 3 {
+			b.Fatalf("hierarchical improvement %.2fx on the core churn, want >= 3x", imp)
+		}
+	}
+}
+
 func BenchmarkScaleChurn10k(b *testing.B) {
 	b.Run("unbatched", func(b *testing.B) { benchmarkScaleChurn(b, "unbatched", 0) })
 	b.Run("batched", func(b *testing.B) { benchmarkScaleChurn(b, "batched", scaleBatchWorkers) })
+	b.Run("core-hier8", func(b *testing.B) { benchmarkScaleChurnCore(b, 8) })
 }

@@ -212,6 +212,20 @@ func (s *Simulation) NextAt() (Time, bool) {
 	return s.queue[0].when, true
 }
 
+// Reserve pre-sizes the event queue's backing array to hold at least n
+// pending events without further growth. Campaign drivers that know the
+// churn's high-water mark (Stats.HeapHighWater from a previous run, or
+// the job schedule's peak concurrency) call it once up front to skip the
+// append-doubling copies of the spine; it never shrinks the queue and has
+// no effect on event order.
+func (s *Simulation) Reserve(n int) {
+	if cap(s.queue) < n {
+		q := make(eventHeap, len(s.queue), n)
+		copy(q, s.queue)
+		s.queue = q
+	}
+}
+
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: it always indicates a model bug.
 func (s *Simulation) At(t Time, fn func()) *Event {

@@ -357,3 +357,75 @@ func TestNextAt(t *testing.T) {
 		t.Fatal("NextAt after drain reported an event")
 	}
 }
+
+// TestReservePreservesOrderAndGrows checks that pre-sizing the heap spine
+// is invisible to the determinism contract: a reserved queue fires the
+// same order as an unreserved one, Reserve mid-stream keeps pending
+// events, and undersized or repeated calls are no-ops.
+func TestReservePreservesOrderAndGrows(t *testing.T) {
+	run := func(reserve int) []int {
+		s := New()
+		if reserve > 0 {
+			s.Reserve(reserve)
+		}
+		var order []int
+		for j := 0; j < 200; j++ {
+			j := j
+			s.At(Time(j%13), func() { order = append(order, j) })
+			if j == 100 {
+				// Mid-stream growth must carry the queued half over.
+				s.Reserve(4 * reserve)
+			}
+		}
+		s.Reserve(1) // undersized: no-op
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	base := run(0)
+	reserved := run(64)
+	if len(base) != 200 || len(reserved) != 200 {
+		t.Fatalf("fired %d/%d events, want 200", len(base), len(reserved))
+	}
+	for i := range base {
+		if base[i] != reserved[i] {
+			t.Fatalf("order diverged at %d: %d vs %d", i, base[i], reserved[i])
+		}
+	}
+}
+
+// heapChurn drives the queue through the access pattern the scale
+// campaigns generate: build up a large pending set, then interleave
+// reschedules (the rebalancer's hot call) with dispatch until drained.
+func heapChurn(b *testing.B, n int, reserve bool) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		if reserve {
+			s.Reserve(n)
+		}
+		// Deterministic xorshift times; no rand dependency in the hot loop.
+		state := uint64(0x9e3779b97f4a7c15)
+		next := func() Time {
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			return Time(state % 1000)
+		}
+		events := make([]*Event, n)
+		for j := range events {
+			events[j] = s.At(next(), func() {})
+		}
+		for _, e := range events {
+			s.Reschedule(e, e.When()+next())
+		}
+		for s.Step() {
+		}
+	}
+}
+
+// BenchmarkHeapChurn100k measures queue maintenance at the scale
+// campaign's high-water mark; the Reserved variant pre-sizes the spine.
+func BenchmarkHeapChurn100k(b *testing.B)         { heapChurn(b, 100_000, false) }
+func BenchmarkHeapChurn100kReserved(b *testing.B) { heapChurn(b, 100_000, true) }

@@ -194,10 +194,12 @@ func insertionSortByID(comps []*component) {
 func (n *Network) flushParallel(comps []*component, now simkernel.Time) {
 	if cap(n.warmDone) < len(comps) {
 		n.warmDone = make([]bool, len(comps))
+		n.hierOf = make([]bool, len(comps))
 		n.livePasses = make([]int, len(comps))
 		n.replayedOf = make([]int, len(comps))
 	}
 	warmDone := n.warmDone[:len(comps)]
+	hierOf := n.hierOf[:len(comps)]
 	livePasses := n.livePasses[:len(comps)]
 	replayed := n.replayedOf[:len(comps)]
 	// Old rates for the rate observer must be captured before any solve
@@ -246,15 +248,28 @@ func (n *Network) flushParallel(comps []*component, now simkernel.Time) {
 					done = sv.warmSolve(c.flows, c.resources, c.capped, &c.traj, removed)
 				}
 				c.traj.valid = false
+				hier := false
 				if !done {
 					sv.lastReplayed = 0
-					rec := &c.traj
-					if len(c.flows) < recordMinFlows {
-						rec = nil
+					if n.hier != nil {
+						// Internal parallelism stays off here — the flush
+						// workers already own the cores — and trySolve's
+						// mutex serializes the shared partition scratch.
+						// The outcome is identical either way: neither the
+						// worker count nor the solve order changes the
+						// hierarchical arithmetic.
+						hier = n.hier.trySolve(c, sv, sv.stats, false)
 					}
-					sv.solve(c.flows, c.resources, c.capped, rec)
+					if !hier {
+						rec := &c.traj
+						if len(c.flows) < recordMinFlows {
+							rec = nil
+						}
+						sv.solve(c.flows, c.resources, c.capped, rec)
+					}
 				}
 				warmDone[i] = done
+				hierOf[i] = hier
 				livePasses[i] = sv.lastLive
 				replayed[i] = sv.lastReplayed
 			}
@@ -272,6 +287,14 @@ func (n *Network) flushParallel(comps []*component, now simkernel.Time) {
 			n.stats.FreezesPerPass.Sum += ws.FreezesPerPass.Sum
 			for i, b := range ws.FreezesPerPass.Buckets {
 				n.stats.FreezesPerPass.Buckets[i] += b
+			}
+			n.stats.HierSolves += ws.HierSolves
+			n.stats.HierFallbacks += ws.HierFallbacks
+			n.stats.HierOuterRounds += ws.HierOuterRounds
+			n.stats.HierExactFallbacks += ws.HierExactFallbacks
+			if ws.HierMaxRelErr > n.stats.HierMaxRelErr {
+				// Max-merge: order-independent like the additive fields.
+				n.stats.HierMaxRelErr = ws.HierMaxRelErr
 			}
 		}
 	}
@@ -311,6 +334,7 @@ func (n *Network) flushParallel(comps []*component, now simkernel.Time) {
 				LivePasses:     livePasses[i],
 				WarmStart:      warmDone[i],
 				ReplayedPasses: replayed[i],
+				Hierarchical:   hierOf[i],
 			})
 		}
 	}

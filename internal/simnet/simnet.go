@@ -48,8 +48,17 @@ type Resource struct {
 	comp *component
 
 	// uf is rebuild scratch: the resource's position within its
-	// component's resource list during a union-find pass.
+	// component's resource list during a union-find pass. The
+	// hierarchical solver reuses it between rebuilds as the resource's
+	// partition slot (group index for locals, separator-list index for
+	// separators); both users fully re-derive it before reading.
 	uf int32
+
+	// sep marks a declared separator resource (see Network.SetSeparators):
+	// a fabric aggregate — rack uplink, core switch — the hierarchical
+	// solver coordinates across instead of solving inside any one
+	// rack-local subproblem. Plain solves ignore the flag entirely.
+	sep bool
 
 	// users is the list of in-flight flows whose usage vector touches this
 	// resource, with their weights — the transpose of Flow.uses. It is
@@ -194,6 +203,32 @@ type Flow struct {
 	// bit, the bottleneck sums a re-solve without the departed flow
 	// would have formed.
 	fpass int32
+
+	// hgroup is hierarchical-solver scratch: the flow's rack-local group
+	// slot for the current partition, with hsepBit set when the flow's
+	// usage vector touches a separator. Re-derived by every partition.
+	hgroup int32
+
+	// Hierarchical-mode per-flow compilation, built once per Start by
+	// unionFlow (only when the mode is on) so every subsequent partition
+	// and re-accumulation pass skips the uses walk:
+	//
+	//   hroot  — union-find handle of the flow's local (non-separator)
+	//            resources: any member's root at start time. The union-find
+	//            only coarsens, so find(hroot) always yields the flow's
+	//            current group root; -1 for separator-only flows.
+	//   hsep   — static flag: the usage vector touches >= 1 separator.
+	//   huses  — the uses entries regrouped locals-first (huses[:hnlocal])
+	//            then separators (huses[hnlocal:]), each segment in original
+	//            uses order so per-resource accumulation order — and hence
+	//            every IEEE sum — is unchanged. The entries are copies:
+	//            bounded-mode clone swaps rewrite f.uses only, so the
+	//            separator segment always points at the real separators,
+	//            which is exactly what the exact solve wants.
+	hroot   int32
+	hsep    bool
+	huses   []use
+	hnlocal int32
 }
 
 // Rate returns the flow's current fair-share rate in MiB/s.
@@ -346,6 +381,12 @@ type Network struct {
 	// solver scratch must never be package-level.
 	sv solver
 
+	// hier, when non-nil, holds the hierarchical solve mode's state and
+	// scratch (see hier.go). Components whose resource graph splits into
+	// two or more rack-local groups along the declared separator set are
+	// solved by partition; everything else falls back to sv.
+	hier *hierState
+
 	// Batched-mode state (see batch.go). batchWorkers > 0 enables
 	// same-instant event batching; > 1 additionally fans independent dirty
 	// components over that many solver goroutines at flush time.
@@ -362,6 +403,7 @@ type Network struct {
 	psv         []solver
 	workerStats []Stats
 	warmDone    []bool
+	hierOf      []bool
 	livePasses  []int
 	replayedOf  []int
 	batchRates  []float64
@@ -459,6 +501,9 @@ func (n *Network) retain(f *Flow, c *component) {
 		}
 		r.nActive++
 		r.insertUser(f, i)
+	}
+	if n.hier != nil {
+		n.hier.unionFlow(f)
 	}
 }
 
@@ -790,17 +835,23 @@ func (n *Network) rebalanceComp(c *component, now simkernel.Time, removed *Flow,
 	// matches the component: a warm start consumed it, and a cold solve
 	// either re-records it or (below the size cutoff) leaves it stale.
 	c.traj.valid = false
+	hier := false
 	if !done {
 		n.sv.lastReplayed = 0
-		rec := &c.traj
-		if len(c.flows) < recordMinFlows {
-			// Recording exists to amortize big solves across removals;
-			// on small components the per-pass load snapshots cost more
-			// than a cold re-solve, so skip both recording and (by the
-			// invalidation above) any future warm start.
-			rec = nil
+		if n.hier != nil {
+			hier = n.hier.trySolve(c, &n.sv, n.stats, true)
 		}
-		n.sv.solve(c.flows, c.resources, c.capped, rec)
+		if !hier {
+			rec := &c.traj
+			if len(c.flows) < recordMinFlows {
+				// Recording exists to amortize big solves across removals;
+				// on small components the per-pass load snapshots cost more
+				// than a cold re-solve, so skip both recording and (by the
+				// invalidation above) any future warm start.
+				rec = nil
+			}
+			n.sv.solve(c.flows, c.resources, c.capped, rec)
+		}
 	}
 	if n.stats != nil {
 		n.stats.Solves[trig]++
@@ -833,6 +884,7 @@ func (n *Network) rebalanceComp(c *component, now simkernel.Time, removed *Flow,
 			LivePasses:     n.sv.lastLive,
 			WarmStart:      done,
 			ReplayedPasses: n.sv.lastReplayed,
+			Hierarchical:   hier,
 		})
 	}
 }

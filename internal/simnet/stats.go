@@ -73,6 +73,26 @@ type Stats struct {
 	// batch shape, not by the configured worker count, so (like every
 	// other field) it is identical at any SetBatching worker setting.
 	ParallelSolves uint64
+	// HierSolves counts component solves served by the hierarchical path
+	// (exact or bounded-error); HierFallbacks counts solves where the
+	// mode was enabled but the partition was degenerate (no separators in
+	// the component, or fewer than two rack-local groups) and the flat
+	// solver ran instead. Components below the hierarchical size cutoff
+	// are counted in neither.
+	HierSolves    uint64
+	HierFallbacks uint64
+	// HierOuterRounds sums bounded-error coordination rounds across
+	// hierarchical solves; HierExactFallbacks counts bounded-error solves
+	// that hit the round cap without converging and re-ran exactly
+	// (which is how the mode guarantees its error bound).
+	HierOuterRounds    uint64
+	HierExactFallbacks uint64
+	// HierMaxRelErr is the maximum measured bounded-error residual — the
+	// max relative rate change between the final two coordination rounds
+	// of any bounded solve. Exact solves and exact fallbacks contribute
+	// 0; the value never exceeds the SetHierarchical bound. Exported as
+	// the simnet/hier_max_rel_err metric.
+	HierMaxRelErr float64
 }
 
 // SetStats attaches (or with nil detaches) a solver activity sink.
@@ -92,6 +112,9 @@ type SolveInfo struct {
 	// trajectory prefix; ReplayedPasses is that prefix's length.
 	WarmStart      bool
 	ReplayedPasses int
+	// Hierarchical reports whether the solve ran on the partitioned
+	// (rack-local groups + separator coordination) path.
+	Hierarchical bool
 }
 
 // ObserveSolves registers a callback invoked after every component
