@@ -5,19 +5,27 @@
 // Usage:
 //
 //	figures [-fig all|2a|2b|4a|4b|5a|5b|6a|6b|8|10|11|12|13|lessons|extnn|extread|policy|resilience|chaos|scale|hierscale] [-reps N] [-seed S] [-out DIR] [-fast] [-workers N]
-//	        [-cpuprofile FILE] [-memprofile FILE] [-metrics FILE.json] [-trace FILE.json] [-utilcsv FILE.csv]
+//	        [-cpuprofile FILE] [-memprofile FILE]
+//	        [-metrics FILE.json] [-prom FILE.prom] [-influx FILE.lp] [-trace FILE.json] [-utilcsv FILE.csv]
+//	        [-serve ADDR] [-serve-linger DUR]
 //
 // The default -reps 100 matches the paper's protocol; -fast shortens the
 // (virtual-time) inter-block waits. -workers bounds how many repetitions
 // simulate concurrently (0 = one per CPU; results are bit-identical for
 // every value). -cpuprofile/-memprofile write pprof profiles of the run.
 //
-// -metrics writes the run's merged observability counters as JSON and a
-// summary table to stderr; -trace records one repetition's event timeline
-// as Chrome trace-event JSON (load it at https://ui.perfetto.dev);
-// -utilcsv writes the traced repetition's per-OST utilization timeline.
-// None of the three change the simulated numbers: out/ CSVs are
-// byte-identical with or without them.
+// The observability flags configure sinks on one shared metrics pipeline
+// (see internal/obs): -metrics writes the merged counters as JSON (plus a
+// summary table on stderr), -prom the same model as OpenMetrics text,
+// -influx as InfluxDB line protocol; -trace records one repetition's
+// event timeline as Chrome trace-event JSON (load it at
+// https://ui.perfetto.dev) and -utilcsv that repetition's per-OST
+// utilization timeline. -serve exposes the live pipeline over HTTP while
+// the run executes (GET /metrics for an OpenMetrics scrape, GET /runs for
+// per-campaign progress with ETA); -serve-linger keeps the server up that
+// much longer after the run so a final scrape cannot race completion.
+// None of these change the simulated numbers: out/ CSVs are
+// byte-identical whatever the sink configuration, at any -workers count.
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -48,8 +57,12 @@ func main() {
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 		metrics = flag.String("metrics", "", "write merged observability metrics to this JSON file (plus a summary table on stderr)")
+		prom    = flag.String("prom", "", "write merged observability metrics to this file as OpenMetrics text")
+		influx  = flag.String("influx", "", "write merged observability metrics to this file as InfluxDB line protocol")
 		trace   = flag.String("trace", "", "write one repetition's Chrome trace-event JSON to this file (perfetto-loadable)")
-		utilCSV = flag.String("utilcsv", "", "write the traced repetition's per-OST utilization timeline to this CSV file (requires -trace)")
+		utilCSV = flag.String("utilcsv", "", "write the traced repetition's per-OST utilization timeline to this CSV file")
+		serve   = flag.String("serve", "", "serve live /metrics (OpenMetrics) and /runs (progress) on this address while the run executes (e.g. 127.0.0.1:9464, or :0 for an ephemeral port)")
+		linger  = flag.Duration("serve-linger", 0, "keep the -serve endpoint up this long after the run finishes")
 	)
 	flag.Parse()
 	if *cpuProf != "" {
@@ -66,15 +79,47 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 	opts := experiments.Options{Reps: *reps, Seed: *seed, FastProtocol: *fast, Workers: *workers}
-	if *metrics != "" {
-		opts.Metrics = obs.NewRegistry()
+	// Every observability flag configures a sink on one shared pipeline;
+	// the campaign streams per-repetition metrics and progress through it.
+	var pl *obs.Pipeline
+	if *metrics != "" || *prom != "" || *influx != "" || *trace != "" || *utilCSV != "" || *serve != "" {
+		pl = obs.NewPipeline()
+		if *metrics != "" {
+			pl.AddSink(obs.NewJSONSink(*metrics))
+		}
+		if *prom != "" {
+			pl.AddSink(obs.NewPromSink(*prom))
+		}
+		if *influx != "" {
+			pl.AddSink(obs.NewInfluxSink(*influx))
+		}
+		if *trace != "" {
+			pl.AddSink(obs.NewTraceSink(pl, *trace))
+		}
+		if *utilCSV != "" {
+			pl.AddSink(obs.NewUtilCSVSink(pl, *utilCSV, "ost"))
+		}
+		opts.Pipeline = pl
 	}
-	if *trace != "" || *utilCSV != "" {
-		opts.Tracer = obs.NewTracer()
+	var srv *obs.Server
+	if *serve != "" {
+		s, err := obs.Serve(pl, *serve)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		srv = s
+		fmt.Fprintf(os.Stderr, "figures: serving /metrics and /runs on http://%s\n", srv.Addr())
 	}
 	err := run(*fig, opts, *out)
-	if err == nil {
-		err = writeObservability(opts, *metrics, *trace, *utilCSV)
+	if err == nil && pl != nil {
+		err = closeObservability(pl, *metrics, *trace)
+	}
+	if srv != nil {
+		// Give external scrapers a window to collect the final state
+		// before the process exits (the CI smoke relies on it).
+		time.Sleep(*linger)
+		srv.Close()
 	}
 	if *memProf != "" {
 		f, merr := os.Create(*memProf)
@@ -147,37 +192,20 @@ func run(fig string, opts experiments.Options, outDir string) error {
 
 var fig13done bool
 
-// writeObservability exports the run's metrics and trace artifacts and
-// prints the metrics summary table to stderr.
-func writeObservability(opts experiments.Options, metricsPath, tracePath, utilPath string) error {
-	writeTo := func(path string, write func(*os.File) error) error {
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		if err := write(f); err != nil {
-			f.Close()
-			return err
-		}
-		return f.Close()
+// closeObservability writes every configured sink's final state (the
+// pipeline renders the same snapshot into each) and prints the
+// stderr-side summaries the file flags imply.
+func closeObservability(pl *obs.Pipeline, metricsPath, tracePath string) error {
+	tracer := pl.Tracer()
+	if err := pl.Close(); err != nil {
+		return fmt.Errorf("closing metric sinks: %w", err)
 	}
 	if metricsPath != "" {
-		if err := writeTo(metricsPath, func(f *os.File) error { return opts.Metrics.WriteJSON(f) }); err != nil {
-			return fmt.Errorf("writing metrics: %w", err)
-		}
-		fmt.Fprint(os.Stderr, opts.Metrics.Summary())
+		fmt.Fprint(os.Stderr, pl.Registry().Summary())
 	}
 	if tracePath != "" {
-		if err := writeTo(tracePath, func(f *os.File) error { return opts.Tracer.WriteJSON(f) }); err != nil {
-			return fmt.Errorf("writing trace: %w", err)
-		}
 		fmt.Fprintf(os.Stderr, "trace: %d events in %s (load at https://ui.perfetto.dev)\n",
-			opts.Tracer.Events(), tracePath)
-	}
-	if utilPath != "" {
-		if err := writeTo(utilPath, func(f *os.File) error { return opts.Tracer.WriteUtilCSV(f, "ost") }); err != nil {
-			return fmt.Errorf("writing utilization CSV: %w", err)
-		}
+			tracer.Events(), tracePath)
 	}
 	return nil
 }

@@ -21,6 +21,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/beegfs"
 	"repro/internal/cluster"
@@ -49,7 +50,12 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "seed")
 		workers  = flag.Int("workers", 0, "concurrent repetitions (0 = one per CPU, 1 = serial; same results either way)")
 		metrics  = flag.String("metrics", "", "write merged observability metrics to this JSON file (plus a summary table on stderr)")
+		prom     = flag.String("prom", "", "write merged observability metrics to this file as OpenMetrics text")
+		influx   = flag.String("influx", "", "write merged observability metrics to this file as InfluxDB line protocol")
 		trace    = flag.String("trace", "", "write one repetition's Chrome trace-event JSON to this file (perfetto-loadable)")
+		utilCSV  = flag.String("utilcsv", "", "write the traced repetition's per-OST utilization timeline to this CSV file")
+		serve    = flag.String("serve", "", "serve live /metrics (OpenMetrics) and /runs (progress) on this address while the run executes (e.g. 127.0.0.1:9464, or :0)")
+		linger   = flag.Duration("serve-linger", 0, "keep the -serve endpoint up this long after the run finishes")
 		// Heartbeat-driven failure detection (0 = the default omniscient
 		// model; healthy runs report identical numbers either way).
 		hbInterval = flag.Float64("hb-interval", 0, "management heartbeat interval in seconds (0 = omniscient failure detection)")
@@ -63,10 +69,49 @@ func main() {
 	flag.Parse()
 	hb := heartbeatConfig{Interval: *hbInterval, Timeout: *hbTimeout, Offline: *hbOffline, RPCTimeout: *rpcTimeout}
 	hc := hierConfig{Workers: *hier, MaxRelErr: *hierErr}
-	if err := run(*api, *bStr, *tStr, *segments, *fpp, *write, *read, *reps, *out, *scenario, *nodes, *ppn, *count, *seed, *workers, *metrics, *trace, hb, hc); err != nil {
+	oc := obsConfig{Metrics: *metrics, Prom: *prom, Influx: *influx, Trace: *trace, UtilCSV: *utilCSV, Serve: *serve, Linger: *linger}
+	if err := run(*api, *bStr, *tStr, *segments, *fpp, *write, *read, *reps, *out, *scenario, *nodes, *ppn, *count, *seed, *workers, oc, hb, hc); err != nil {
 		fmt.Fprintln(os.Stderr, "iorsim:", err)
 		os.Exit(1)
 	}
+}
+
+// obsConfig carries the observability flags: each non-empty path becomes
+// one sink on the run's metrics pipeline, and Serve exposes the live
+// /metrics and /runs endpoints while repetitions execute.
+type obsConfig struct {
+	Metrics, Prom, Influx, Trace, UtilCSV string
+	Serve                                 string
+	Linger                                time.Duration
+}
+
+func (oc obsConfig) enabled() bool {
+	return oc.Metrics != "" || oc.Prom != "" || oc.Influx != "" || oc.Trace != "" || oc.UtilCSV != "" || oc.Serve != ""
+}
+
+// pipeline builds the sink set the flags describe (nil when no
+// observability flag was given).
+func (oc obsConfig) pipeline() *obs.Pipeline {
+	if !oc.enabled() {
+		return nil
+	}
+	pl := obs.NewPipeline()
+	if oc.Metrics != "" {
+		pl.AddSink(obs.NewJSONSink(oc.Metrics))
+	}
+	if oc.Prom != "" {
+		pl.AddSink(obs.NewPromSink(oc.Prom))
+	}
+	if oc.Influx != "" {
+		pl.AddSink(obs.NewInfluxSink(oc.Influx))
+	}
+	if oc.Trace != "" {
+		pl.AddSink(obs.NewTraceSink(pl, oc.Trace))
+	}
+	if oc.UtilCSV != "" {
+		pl.AddSink(obs.NewUtilCSVSink(pl, oc.UtilCSV, "ost"))
+	}
+	return pl
 }
 
 // heartbeatConfig carries the optional heartbeat-detection flags into the
@@ -85,7 +130,7 @@ type hierConfig struct {
 	MaxRelErr float64
 }
 
-func run(api, bStr, tStr string, segments int, fpp, write, read bool, reps int, out string, scenario, nodes, ppn, count int, seed uint64, workers int, metricsPath, tracePath string, hb heartbeatConfig, hc hierConfig) error {
+func run(api, bStr, tStr string, segments int, fpp, write, read bool, reps int, out string, scenario, nodes, ppn, count int, seed uint64, workers int, oc obsConfig, hb heartbeatConfig, hc hierConfig) error {
 	if !strings.EqualFold(api, "POSIX") {
 		return fmt.Errorf("only -a POSIX is supported (the paper's configuration)")
 	}
@@ -170,13 +215,17 @@ func run(api, bStr, tStr string, segments int, fpp, write, read bool, reps int, 
 	if fpp {
 		files = nodes * ppn
 	}
-	var reg *obs.Registry
-	if metricsPath != "" {
-		reg = obs.NewRegistry()
-	}
-	var tracer *obs.Tracer
-	if tracePath != "" {
-		tracer = obs.NewTracer()
+	pl := oc.pipeline()
+	pl.StartRun("iorsim", reps)
+	var srv *obs.Server
+	if oc.Serve != "" {
+		s, err := obs.Serve(pl, oc.Serve)
+		if err != nil {
+			return err
+		}
+		srv = s
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "iorsim: serving /metrics and /runs on http://%s\n", srv.Addr())
 	}
 	results := make([]ior.Result, reps)
 	runRep := func(rep int) error {
@@ -192,12 +241,15 @@ func run(api, bStr, tStr string, segments int, fpp, write, read bool, reps int, 
 		if hc.Workers > 0 {
 			dep.Net.SetHierarchical(hc.Workers, hc.MaxRelErr)
 		}
+		// A nil pipeline hands out a nil collector whose methods no-op, so
+		// the disabled path stays a pointer check per site.
+		col := pl.Collector()
 		var st *cluster.RunStats
-		if reg != nil {
+		if col != nil {
 			st = dep.EnableStats()
 		}
-		if tracer.Claim() {
-			dep.AttachTracer(tracer)
+		if tr := pl.Tracer(); tr.Claim() {
+			dep.AttachTracer(tr)
 		}
 		if cc, ok := p.FS.Chooser.(beegfs.CursorChooser); ok {
 			cc.SetCursor(rep * files * effCount % nTargets)
@@ -207,15 +259,33 @@ func run(api, bStr, tStr string, segments int, fpp, write, read bool, reps int, 
 		if err != nil {
 			return err
 		}
-		st.FlushTo(reg)
+		st.FlushTo(col)
+		col.Release()
+		pl.RepDone("iorsim")
+		if err := pl.FlushSinks(); err != nil {
+			return err
+		}
 		results[rep] = res
 		return nil
 	}
 	if err := forEachRep(reps, workers, runRep); err != nil {
 		return err
 	}
-	if err := writeObservability(reg, tracer, metricsPath, tracePath); err != nil {
-		return err
+	if pl != nil {
+		tracer := pl.Tracer()
+		if err := pl.Close(); err != nil {
+			return err
+		}
+		if oc.Metrics != "" {
+			fmt.Fprint(os.Stderr, pl.Registry().Summary())
+		}
+		if oc.Trace != "" {
+			fmt.Fprintf(os.Stderr, "trace: %d events in %s (load at https://ui.perfetto.dev)\n",
+				tracer.Events(), oc.Trace)
+		}
+	}
+	if srv != nil {
+		time.Sleep(oc.Linger)
 	}
 
 	var writes, reads []float64
@@ -289,41 +359,6 @@ func forEachRep(n, workers int, fn func(int) error) error {
 	wg.Wait()
 	if m := minErr.Load(); m < int64(n) {
 		return errs[m]
-	}
-	return nil
-}
-
-// writeObservability exports the run's metrics JSON (plus a stderr summary
-// table) and the traced repetition's Chrome trace-event JSON.
-func writeObservability(reg *obs.Registry, tracer *obs.Tracer, metricsPath, tracePath string) error {
-	if metricsPath != "" {
-		f, err := os.Create(metricsPath)
-		if err != nil {
-			return err
-		}
-		if err := reg.WriteJSON(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Fprint(os.Stderr, reg.Summary())
-	}
-	if tracePath != "" {
-		f, err := os.Create(tracePath)
-		if err != nil {
-			return err
-		}
-		if err := tracer.WriteJSON(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "trace: %d events in %s (load at https://ui.perfetto.dev)\n",
-			tracer.Events(), tracePath)
 	}
 	return nil
 }

@@ -154,6 +154,7 @@ func (m *heartbeatMonitor) runSweep() {
 	}
 	if m.fs.stats != nil {
 		m.fs.stats.HeartbeatSweeps++
+		m.fs.stats.SweepTargets.Observe(uint64(len(mg.order)))
 	}
 	// ProbablyOffline -> Online promotions do not cross the legacy
 	// offline boundary, so the Subscribe-driven resync restart never

@@ -53,6 +53,9 @@ type Stats struct {
 	// HeartbeatSweeps counts heartbeat monitor rounds (0 with heartbeats
 	// disabled, and 0 in fault-free runs — the monitor is lazy).
 	HeartbeatSweeps uint64
+	// SweepTargets is the histogram of targets examined per heartbeat
+	// sweep — the per-round cost of the timeout ladder.
+	SweepTargets obs.Log2Hist
 }
 
 // SetStats attaches (or with nil detaches) an activity counter sink.

@@ -34,9 +34,13 @@ func (d *Deployment) EnableStats() *RunStats {
 	return st
 }
 
-// FlushTo merges the repetition's counters into reg under stable
-// "layer/metric" names. Nil receiver or registry is a no-op.
-func (st *RunStats) FlushTo(reg *obs.Registry) {
+// FlushTo merges the repetition's counters into a recorder under stable
+// "layer/metric" names. The recorder is either the shared Registry
+// directly (the plain -metrics path) or a pipeline Collector shard, whose
+// later Flush routes the names through the pipeline's rules; the emitted
+// names and values are identical either way. Nil receiver or recorder is
+// a no-op.
+func (st *RunStats) FlushTo(reg obs.Recorder) {
 	if st == nil || reg == nil {
 		return
 	}
@@ -65,15 +69,21 @@ func (st *RunStats) FlushTo(reg *obs.Registry) {
 	reg.Add("simnet/solve_batches", n.SolveBatches)
 	reg.Add("simnet/components_dirty", n.ComponentsDirty)
 	reg.Add("simnet/parallel_solves", n.ParallelSolves)
+	reg.MergeHist("simnet/batch/flush_wave_width", &n.FlushWaveWidth)
 	// Hierarchical-mode counters; all zero when SetHierarchical is off.
 	reg.Add("simnet/hier_solves", n.HierSolves)
 	reg.Add("simnet/hier_fallbacks", n.HierFallbacks)
 	reg.Add("simnet/hier_outer_rounds", n.HierOuterRounds)
 	reg.Add("simnet/hier_exact_fallbacks", n.HierExactFallbacks)
+	reg.MergeHist("simnet/hier_groups", &n.HierGroups)
+	reg.MergeHist("simnet/hier_group_flows", &n.HierGroupFlows)
 	// The registry carries uint64 quantities, so the measured bounded-mode
 	// residual (a float in [0, maxRelErr]) is exported in parts per
 	// billion, max-merged like the underlying stat. 0 ppb = exact.
 	reg.Max("simnet/hier_max_rel_err", uint64(n.HierMaxRelErr*1e9))
+	// Per-solve wall-clock latency is host-dependent; the runtime/
+	// namespace keeps it out of the deterministic portion of the export.
+	reg.MergeHist(obs.RuntimePrefix+"simnet/solve_latency_ns", &n.SolveLatencyNs)
 
 	f := &st.FS
 	reg.Add("beegfs/write_ops", f.WriteOps)
@@ -91,6 +101,7 @@ func (st *RunStats) FlushTo(reg *obs.Registry) {
 	reg.Add("beegfs/reach_transitions", f.ReachTransitions)
 	reg.Add("beegfs/stale_rpc_failures", f.StaleRPCFailures)
 	reg.Add("beegfs/heartbeat_sweeps", f.HeartbeatSweeps)
+	reg.MergeHist("beegfs/heartbeat_sweep_targets", &f.SweepTargets)
 	// sync.Pool hit rates depend on the host's GC and goroutine
 	// scheduling, not on the simulation; the runtime/ namespace keeps
 	// them out of the deterministic portion of the export.
@@ -116,6 +127,7 @@ func (d *Deployment) AttachTracer(t *obs.Tracer) {
 			"warm_start":      info.WarmStart,
 			"replayed_passes": info.ReplayedPasses,
 			"hierarchical":    info.Hierarchical,
+			"groups":          info.Groups,
 		})
 	})
 	d.Net.ObserveBatches(func(at simkernel.Time, info simnet.BatchInfo) {

@@ -29,6 +29,10 @@ type Options struct {
 	// numbers are bit-identical with or without them.
 	Metrics *obs.Registry
 	Tracer  *obs.Tracer
+	// Pipeline, when non-nil, supersedes Metrics and Tracer (see
+	// Campaign.Pipeline): repetitions record through collector shards and
+	// stream progress to the pipeline's sinks and live endpoints.
+	Pipeline *obs.Pipeline
 }
 
 func (o Options) protocol() Protocol {
@@ -45,7 +49,7 @@ func (o Options) protocol() Protocol {
 func (o Options) campaign(scenario cluster.Scenario) Campaign {
 	return Campaign{
 		Platform: cluster.PlaFRIM(scenario), Proto: o.protocol(), Workers: o.Workers,
-		Metrics: o.Metrics, Tracer: o.Tracer,
+		Metrics: o.Metrics, Tracer: o.Tracer, Pipeline: o.Pipeline,
 	}
 }
 

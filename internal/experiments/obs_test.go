@@ -3,6 +3,7 @@ package experiments
 import (
 	"bytes"
 	"encoding/json"
+	"os"
 	"reflect"
 	"strings"
 	"testing"
@@ -115,5 +116,114 @@ func TestMetricsDeterministic(t *testing.T) {
 	parallel := export(4)
 	if first != parallel {
 		t.Fatalf("worker counts disagree:\n%s\nvs\n%s", first, parallel)
+	}
+}
+
+func obsPipelineCampaign(pl *obs.Pipeline, workers int) ([]Record, error) {
+	cfgs := []Config{
+		{Label: "obs-a", Params: ior.Params{Nodes: 2, PPN: 4, TransferSize: beegfs.MiB, StripeCount: 2}.WithTotalSize(beegfs.GiB)},
+		{Label: "obs-b", Params: ior.Params{Nodes: 2, PPN: 4, TransferSize: beegfs.MiB, StripeCount: 4}.WithTotalSize(beegfs.GiB)},
+	}
+	proto := Protocol{Repetitions: 4, BlockSize: 2, MinWait: 0.1, MaxWait: 0.5, Seed: 7}
+	return Campaign{
+		Platform: cluster.PlaFRIM(cluster.Scenario1Ethernet),
+		Proto:    proto,
+		Workers:  workers,
+		Pipeline: pl,
+	}.Run(cfgs)
+}
+
+// TestPipelineDoesNotPerturbResults extends the central contract to the
+// streaming pipeline: a campaign run through collector→router→sink must
+// produce the exact same record list as an uninstrumented run — so the
+// out/ CSVs stay byte-identical with sinks attached — and the JSON sink's
+// final export must match the legacy registry path and stay identical
+// across worker counts.
+func TestPipelineDoesNotPerturbResults(t *testing.T) {
+	plain, err := obsTestCampaign(nil, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	export := func(workers int) ([]Record, string) {
+		dir := t.TempDir()
+		path := dir + "/metrics.json"
+		pl := obs.NewPipeline()
+		pl.AddSink(obs.NewJSONSink(path))
+		pl.AddSink(obs.NewPromSink(dir + "/metrics.prom"))
+		pl.AddSink(obs.NewInfluxSink(dir + "/metrics.lp"))
+		recs, err := obsPipelineCampaign(pl, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Progress table must be complete before Close.
+		for _, rs := range pl.Runs() {
+			if rs.Done != rs.Total || rs.Total != 4 {
+				t.Fatalf("incomplete run status: %+v", rs)
+			}
+		}
+		if err := pl.Close(); err != nil {
+			t.Fatal(err)
+		}
+		doc, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return recs, stripRuntime(t, doc)
+	}
+
+	recs1, json1 := export(1)
+	if !reflect.DeepEqual(plain, recs1) {
+		t.Fatal("records differ with the pipeline attached")
+	}
+	recs4, json4 := export(4)
+	if !reflect.DeepEqual(plain, recs4) {
+		t.Fatal("records differ at 4 workers with the pipeline attached")
+	}
+	if json1 != json4 {
+		t.Fatalf("pipeline JSON sink disagrees across worker counts:\n%s\nvs\n%s", json1, json4)
+	}
+
+	// The pipeline export must agree with the legacy Metrics registry path
+	// on everything but the pipeline-only campaign observations.
+	reg := obs.NewRegistry()
+	if _, err := obsTestCampaign(reg, nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	var legacy bytes.Buffer
+	if err := reg.WriteJSON(&legacy); err != nil {
+		t.Fatal(err)
+	}
+	var pipelineDoc, legacyDoc map[string]map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(json1), &pipelineDoc); err != nil {
+		t.Fatal(err)
+	}
+	// Normalize through the same re-serialization so raw values compare
+	// byte-for-byte regardless of source formatting.
+	if err := json.Unmarshal([]byte(stripRuntime(t, legacy.Bytes())), &legacyDoc); err != nil {
+		t.Fatal(err)
+	}
+	for section, metrics := range legacyDoc {
+		for name, val := range metrics {
+			if strings.HasPrefix(name, obs.RuntimePrefix) {
+				continue
+			}
+			got, ok := pipelineDoc[section][name]
+			if !ok {
+				t.Fatalf("pipeline export lost %s/%s", section, name)
+			}
+			if !bytes.Equal(got, val) {
+				t.Fatalf("pipeline export disagrees on %s/%s: %s vs %s", section, name, got, val)
+			}
+		}
+	}
+	// And the pipeline adds the per-campaign bandwidth observations.
+	for _, name := range []string{
+		"experiments/obs-a/app_bw_mibs",
+		"experiments/obs-b/aggregate_bw_mibs",
+	} {
+		if _, ok := pipelineDoc["histograms"][name]; !ok {
+			t.Fatalf("pipeline export lacks %s", name)
+		}
 	}
 }

@@ -189,6 +189,40 @@ type Campaign struct {
 	// (the first repetition to start claims it; with Workers <= 1 that is
 	// deterministically the first scheduled unit).
 	Tracer *obs.Tracer
+	// Pipeline, when non-nil, supersedes Metrics and Tracer: each
+	// repetition records into a private collector shard whose flush routes
+	// metric names through the pipeline's rules and folds values into the
+	// pipeline's registry (order-independently, so files stay identical at
+	// any Workers). Repetition completions stream to the progress table
+	// (StartRun/RepDone) and intermediate snapshots to the pipeline's
+	// sinks, which is what the live /metrics and /runs endpoints serve.
+	// The tracer, if any sink enabled one, claims one repetition exactly
+	// as the plain Tracer field does.
+	Pipeline *obs.Pipeline
+}
+
+// recorder returns the per-repetition metric sink: a pipeline collector
+// shard (released by the caller) when the pipeline is attached, else the
+// plain shared registry. Both may be nil (observability off).
+func (c Campaign) recorder() (obs.Recorder, *obs.Collector) {
+	if c.Pipeline != nil {
+		col := c.Pipeline.Collector()
+		return col, col
+	}
+	if c.Metrics != nil {
+		return c.Metrics, nil
+	}
+	return nil, nil
+}
+
+// tracer returns the event tracer in effect: the pipeline's (when a trace
+// or utilization sink enabled one), else the plain Tracer field. May be
+// nil; Tracer.Claim is nil-safe.
+func (c Campaign) tracer() *obs.Tracer {
+	if c.Pipeline != nil {
+		return c.Pipeline.Tracer()
+	}
+	return c.Tracer
 }
 
 // unit is one repetition of one configuration, annotated during phase 1
@@ -257,6 +291,11 @@ func (c Campaign) Run(cfgs []Config) ([]Record, error) {
 		u.src = src.Split(uint64(u.cfg)<<32 | uint64(u.rep))
 		u.cursor = cursor
 		cursor = (cursor + c.cursorAdvance(cfgs[u.cfg], u, nTargets)) % nTargets
+	}
+	// Progress tracking: one run per experiment label, with the total
+	// known up front so /runs can estimate completion.
+	for _, cfg := range cfgs {
+		c.Pipeline.StartRun(cfg.Label, c.Proto.Repetitions)
 	}
 	// Phase 2: run the units on the worker pool, each as an isolated
 	// simulation, and merge results by execution position.
@@ -403,18 +442,20 @@ func (c Campaign) runUnit(cfg Config, u *unit) (Record, error) {
 	if err != nil {
 		return Record{}, err
 	}
-	// Observability: per-repetition counters merge into the shared
-	// registry at the end of the repetition; the tracer attaches to the
-	// first repetition that claims it.
+	// Observability: per-repetition counters merge into the recorder (a
+	// pipeline collector shard, or the shared registry directly) at the
+	// end of the repetition; the tracer attaches to the first repetition
+	// that claims it.
 	var st *cluster.RunStats
 	var fstats faults.Stats
 	var wallStart time.Time
-	if c.Metrics != nil {
+	mrec, col := c.recorder()
+	if mrec != nil {
 		st = dep.EnableStats()
 		wallStart = time.Now()
 	}
-	if c.Tracer.Claim() {
-		dep.AttachTracer(c.Tracer)
+	if tr := c.tracer(); tr.Claim() {
+		dep.AttachTracer(tr)
 	}
 	if c.Setup != nil {
 		if err := c.Setup(dep); err != nil {
@@ -541,17 +582,35 @@ func (c Campaign) runUnit(cfg Config, u *unit) (Record, error) {
 		}
 	}
 	if st != nil {
-		st.FlushTo(c.Metrics)
-		c.Metrics.Add("faults/injections", fstats.Injections)
-		c.Metrics.Add("faults/recoveries", fstats.Recoveries)
-		c.Metrics.Add("faults/aborted_flows", fstats.AbortedFlows)
-		c.Metrics.Add("faults/noops", fstats.Noops)
-		c.Metrics.Add("experiments/repetitions", 1)
+		st.FlushTo(mrec)
+		mrec.Add("faults/injections", fstats.Injections)
+		mrec.Add("faults/recoveries", fstats.Recoveries)
+		mrec.Add("faults/aborted_flows", fstats.AbortedFlows)
+		mrec.Add("faults/noops", fstats.Noops)
+		mrec.Add("experiments/repetitions", 1)
+		// Per-application and aggregate bandwidths, rounded to MiB/s. The
+		// simulated bandwidths are deterministic, so these histograms live
+		// in the deterministic portion of the export.
+		for _, ar := range rec.Apps {
+			mrec.Observe("experiments/"+cfg.Label+"/app_bw_mibs", uint64(math.Round(ar.Result.Bandwidth)))
+		}
+		mrec.Observe("experiments/"+cfg.Label+"/aggregate_bw_mibs", uint64(math.Round(rec.Aggregate)))
 		// Wall-clock cost is inherently run-dependent; the prefix lets
 		// determinism checks filter it out.
 		us := uint64(time.Since(wallStart).Microseconds())
-		c.Metrics.Add(obs.WalltimePrefix+cfg.Label+"/rep_us", us)
-		c.Metrics.Observe(obs.WalltimePrefix+cfg.Label+"/rep_us_hist", us)
+		mrec.Add(obs.WalltimePrefix+cfg.Label+"/rep_us", us)
+		mrec.Observe(obs.WalltimePrefix+cfg.Label+"/rep_us_hist", us)
+	}
+	if c.Pipeline != nil {
+		// Fold the shard into the registry, stream the completion to the
+		// progress table, and refresh the live sinks' view. Folds are
+		// commutative, so any Release/RepDone interleaving across workers
+		// yields the same final state.
+		col.Release()
+		c.Pipeline.RepDone(cfg.Label)
+		if err := c.Pipeline.FlushSinks(); err != nil {
+			return Record{}, err
+		}
 	}
 	return rec, nil
 }

@@ -28,7 +28,6 @@
 package obs
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"math/bits"
@@ -70,11 +69,28 @@ func (h *Log2Hist) Observe(v uint64) {
 	h.Buckets[bits.Len64(v)]++
 }
 
+// Merge folds src into h by bucket-wise addition (order-independent, like
+// every accumulation in this package).
+func (h *Log2Hist) Merge(src *Log2Hist) {
+	h.Count += src.Count
+	h.Sum += src.Sum
+	for i, b := range src.Buckets {
+		h.Buckets[i] += b
+	}
+}
+
 // histogram is the Registry's accumulated (mergeable) histogram state.
 type histogram struct {
 	count   uint64
 	sum     uint64
 	buckets [Log2Buckets]uint64
+}
+
+// observe records one value (collector-shard hot path; no lock).
+func (h *histogram) observe(v uint64) {
+	h.count++
+	h.sum += v
+	h.buckets[bits.Len64(v)]++
 }
 
 // Registry accumulates named metrics from any number of repetitions (and
@@ -169,61 +185,80 @@ func (r *Registry) Counter(name string) uint64 {
 	return r.counters[name]
 }
 
-// histJSON is the exported form of one histogram: count, sum and the
-// non-empty buckets keyed by their inclusive upper bound.
-type histJSON struct {
-	Count   uint64            `json:"count"`
-	Sum     uint64            `json:"sum"`
-	Buckets map[string]uint64 `json:"buckets"`
+// MetricValue is one named counter or high-water value in a Snapshot.
+type MetricValue struct {
+	Name  string
+	Value uint64
 }
 
-// snapshot assembles the exportable view under the lock.
-func (r *Registry) snapshot() map[string]any {
-	counters := make(map[string]uint64, len(r.counters))
+// HistValue is one named histogram in a Snapshot.
+type HistValue struct {
+	Name    string
+	Count   uint64
+	Sum     uint64
+	Buckets [Log2Buckets]uint64
+}
+
+// BucketBound returns the inclusive upper bound of log-2 bucket i — the
+// largest v with bits.Len64(v) == i (0 for bucket 0).
+func BucketBound(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	return 1<<uint(i) - 1
+}
+
+// Snapshot is the sorted, immutable export view every sink renders:
+// counters, maxima and histograms in ascending name order, plus (when
+// taken through a Pipeline) the campaign progress table. The explicit
+// slice ordering — rather than Go maps whose iteration order is
+// randomized — is what pins every encoder's output byte-for-byte; the
+// golden-file tests in this package enforce it per encoding.
+type Snapshot struct {
+	Counters []MetricValue
+	Maxima   []MetricValue
+	Hists    []HistValue
+	Runs     []RunStatus
+}
+
+// Snapshot assembles the registry's sorted export view. Safe on a nil
+// registry (returns an empty snapshot).
+func (r *Registry) Snapshot() *Snapshot {
+	snap := &Snapshot{}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap.Counters = make([]MetricValue, 0, len(r.counters))
 	for k, v := range r.counters {
-		counters[k] = v
+		snap.Counters = append(snap.Counters, MetricValue{Name: k, Value: v})
 	}
-	maxima := make(map[string]uint64, len(r.maxima))
+	snap.Maxima = make([]MetricValue, 0, len(r.maxima))
 	for k, v := range r.maxima {
-		maxima[k] = v
+		snap.Maxima = append(snap.Maxima, MetricValue{Name: k, Value: v})
 	}
-	hists := make(map[string]histJSON, len(r.hists))
+	snap.Hists = make([]HistValue, 0, len(r.hists))
 	for k, h := range r.hists {
-		buckets := make(map[string]uint64)
-		for i, b := range h.buckets {
-			if b == 0 {
-				continue
-			}
-			// Upper bound of bucket i: the largest v with bits.Len64(v)==i.
-			var hi uint64
-			if i > 0 {
-				hi = 1<<uint(i) - 1
-			}
-			buckets[fmt.Sprintf("%d", hi)] = b
-		}
-		hists[k] = histJSON{Count: h.count, Sum: h.sum, Buckets: buckets}
+		snap.Hists = append(snap.Hists, HistValue{Name: k, Count: h.count, Sum: h.sum, Buckets: h.buckets})
 	}
-	return map[string]any{
-		"counters":   counters,
-		"maxima":     maxima,
-		"histograms": hists,
-	}
+	sort.Slice(snap.Counters, func(i, j int) bool { return snap.Counters[i].Name < snap.Counters[j].Name })
+	sort.Slice(snap.Maxima, func(i, j int) bool { return snap.Maxima[i].Name < snap.Maxima[j].Name })
+	sort.Slice(snap.Hists, func(i, j int) bool { return snap.Hists[i].Name < snap.Hists[j].Name })
+	return snap
 }
 
-// WriteJSON writes the registry as a deterministic JSON document:
-// encoding/json sorts map keys, so two registries with equal contents
-// serialize byte-identically regardless of insertion or merge order.
+// WriteJSON writes the registry as a deterministic JSON document. The
+// encoder walks the sorted Snapshot and emits every key explicitly — no
+// map iteration feeds the output — so two registries with equal contents
+// serialize byte-identically regardless of insertion or merge order
+// (pinned by TestWriteJSONGolden).
 func (r *Registry) WriteJSON(w io.Writer) error {
 	if r == nil {
 		_, err := io.WriteString(w, "{}\n")
 		return err
 	}
-	r.mu.Lock()
-	snap := r.snapshot()
-	r.mu.Unlock()
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(snap)
+	return EncodeJSON(w, r.Snapshot())
 }
 
 // Summary renders a human-readable metrics table (sorted by name), the

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Live introspection: an HTTP server exposing the pipeline's merged
+// metric model while a run is in flight.
+//
+//	GET /metrics  OpenMetrics text exposition of the current snapshot
+//	              (scrape-compatible with Prometheus).
+//	GET /runs     JSON progress table: per-campaign repetitions
+//	              completed/total with wall-clock rate and ETA.
+//
+// The server reads through Pipeline.Snapshot()/Runs(), which take the
+// registry and pipeline locks briefly per request — scrapes never block
+// collector emission (lock-free shards) and only contend with flushes for
+// the duration of a snapshot copy. Serving is read-only and off the
+// simulation's deterministic path: whether and when /metrics is scraped
+// cannot change any exported file (the CI smoke pins this by diffing
+// out/ CSVs with and without a scrape).
+
+// Server serves a pipeline's live metrics over HTTP.
+type Server struct {
+	pl  *Pipeline
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts an HTTP server for p on addr (e.g. "127.0.0.1:9464", or
+// ":0" for an ephemeral port — read the chosen address back from Addr).
+func Serve(p *Pipeline, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{pl: p, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/runs", s.handleRuns)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the address the server is listening on.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", PromContentType)
+	_ = EncodeProm(w, s.pl.Snapshot())
+}
+
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	runs := s.pl.Runs()
+	if runs == nil {
+		runs = []RunStatus{}
+	}
+	_ = json.NewEncoder(w).Encode(runs)
+}

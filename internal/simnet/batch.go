@@ -45,6 +45,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/simkernel"
 )
@@ -148,6 +149,7 @@ func (n *Network) flush() {
 	if n.stats != nil {
 		n.stats.SolveBatches++
 		n.stats.ComponentsDirty += uint64(len(comps))
+		n.stats.FlushWaveWidth.Observe(uint64(len(comps)))
 		if len(comps) > 1 {
 			n.stats.ParallelSolves += uint64(len(comps))
 		}
@@ -197,11 +199,13 @@ func (n *Network) flushParallel(comps []*component, now simkernel.Time) {
 		n.hierOf = make([]bool, len(comps))
 		n.livePasses = make([]int, len(comps))
 		n.replayedOf = make([]int, len(comps))
+		n.groupsOf = make([]int, len(comps))
 	}
 	warmDone := n.warmDone[:len(comps)]
 	hierOf := n.hierOf[:len(comps)]
 	livePasses := n.livePasses[:len(comps)]
 	replayed := n.replayedOf[:len(comps)]
+	groupsOf := n.groupsOf[:len(comps)]
 	// Old rates for the rate observer must be captured before any solve
 	// runs; one flat buffer with per-component offsets replaces the serial
 	// path's per-rebalance capture.
@@ -243,6 +247,11 @@ func (n *Network) flushParallel(comps []*component, now simkernel.Time) {
 				}
 				c := comps[i]
 				removed := c.pendRemoved
+				var solveStart time.Time
+				if recordStats {
+					solveStart = time.Now()
+				}
+				sv.lastGroups = 0
 				done := false
 				if removed != nil && c.traj.valid {
 					done = sv.warmSolve(c.flows, c.resources, c.capped, &c.traj, removed)
@@ -268,34 +277,26 @@ func (n *Network) flushParallel(comps []*component, now simkernel.Time) {
 						sv.solve(c.flows, c.resources, c.capped, rec)
 					}
 				}
+				if recordStats {
+					sv.stats.SolveLatencyNs.Observe(uint64(time.Since(solveStart)))
+				}
 				warmDone[i] = done
 				hierOf[i] = hier
 				livePasses[i] = sv.lastLive
 				replayed[i] = sv.lastReplayed
+				groupsOf[i] = sv.lastGroups
 			}
 		}(w)
 	}
 	wg.Wait()
 	if recordStats {
-		// Per-pass counts merge by addition (and bucket-wise histogram
-		// addition), both order-independent, so the merged stats match the
-		// serial flush regardless of which worker solved which component.
+		// Stats.merge folds each worker's shard field-wise: counters by
+		// addition, histograms by bucket-wise addition, HierMaxRelErr by
+		// max. Every fold is order-independent, so the merged stats match
+		// the serial flush regardless of which worker solved which
+		// component.
 		for w := 0; w < workers; w++ {
-			ws := &n.workerStats[w]
-			n.stats.Passes += ws.Passes
-			n.stats.FreezesPerPass.Count += ws.FreezesPerPass.Count
-			n.stats.FreezesPerPass.Sum += ws.FreezesPerPass.Sum
-			for i, b := range ws.FreezesPerPass.Buckets {
-				n.stats.FreezesPerPass.Buckets[i] += b
-			}
-			n.stats.HierSolves += ws.HierSolves
-			n.stats.HierFallbacks += ws.HierFallbacks
-			n.stats.HierOuterRounds += ws.HierOuterRounds
-			n.stats.HierExactFallbacks += ws.HierExactFallbacks
-			if ws.HierMaxRelErr > n.stats.HierMaxRelErr {
-				// Max-merge: order-independent like the additive fields.
-				n.stats.HierMaxRelErr = ws.HierMaxRelErr
-			}
+			n.stats.merge(&n.workerStats[w])
 		}
 	}
 	// Serial finish in component-id order: completion events, observers
@@ -335,6 +336,7 @@ func (n *Network) flushParallel(comps []*component, now simkernel.Time) {
 				WarmStart:      warmDone[i],
 				ReplayedPasses: replayed[i],
 				Hierarchical:   hierOf[i],
+				Groups:         groupsOf[i],
 			})
 		}
 	}

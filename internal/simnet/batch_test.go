@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/simkernel"
 )
 
@@ -115,11 +116,22 @@ func TestBatchedParallelBitIdentical(t *testing.T) {
 		return log, st
 	}
 	log1, st1 := run(1)
+	// SolveLatencyNs is the one wall-clock field in Stats (exported under
+	// runtime/, excluded from every determinism contract); its count must
+	// still match the solve count at any worker setting.
+	if st1.SolveLatencyNs.Count != st1.ComponentFlows.Count {
+		t.Fatalf("solve latency count %d != solve count %d", st1.SolveLatencyNs.Count, st1.ComponentFlows.Count)
+	}
+	st1.SolveLatencyNs = obs.Log2Hist{}
 	for _, workers := range []int{2, 8} {
 		logW, stW := run(workers)
 		if !reflect.DeepEqual(log1, logW) {
 			t.Fatalf("observer log differs between 1 and %d workers", workers)
 		}
+		if stW.SolveLatencyNs.Count != stW.ComponentFlows.Count {
+			t.Fatalf("solve latency count %d != solve count %d at %d workers", stW.SolveLatencyNs.Count, stW.ComponentFlows.Count, workers)
+		}
+		stW.SolveLatencyNs = obs.Log2Hist{}
 		if !reflect.DeepEqual(st1, stW) {
 			t.Fatalf("stats differ between 1 and %d workers:\n1: %+v\n%d: %+v", workers, st1, workers, stW)
 		}

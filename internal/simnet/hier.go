@@ -464,8 +464,13 @@ func (h *hierState) trySolve(c *component, sv *solver, st *Stats, par bool) bool
 		passes = h.runExact(c.flows, c.resources, st, par)
 	}
 	sv.lastLive = passes
+	sv.lastGroups = h.ngroups
 	if st != nil {
 		st.HierSolves++
+		st.HierGroups.Observe(uint64(h.ngroups))
+		for slot := 0; slot < h.ngroups; slot++ {
+			st.HierGroupFlows.Observe(uint64(len(h.groups[slot].flows)))
+		}
 	}
 	return true
 }

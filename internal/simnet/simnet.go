@@ -23,6 +23,7 @@ import (
 	"math"
 	"slices"
 	"sort"
+	"time"
 
 	"repro/internal/simkernel"
 )
@@ -406,6 +407,7 @@ type Network struct {
 	hierOf      []bool
 	livePasses  []int
 	replayedOf  []int
+	groupsOf    []int
 	batchRates  []float64
 	rateOff     []int
 
@@ -826,7 +828,15 @@ func (n *Network) rebalanceComp(c *component, now simkernel.Time, removed *Flow,
 			n.oldRates[i] = f.rate
 		}
 	}
+	// Wall-clock solve latency is recorded only when stats are attached
+	// (one time.Now() pair per rebalance) and exported under the runtime/
+	// namespace; it never feeds back into simulation arithmetic.
+	var solveStart time.Time
+	if n.stats != nil {
+		solveStart = time.Now()
+	}
 	n.sv.indexed = true
+	n.sv.lastGroups = 0
 	done := false
 	if removed != nil && c.traj.valid {
 		done = n.sv.warmSolve(c.flows, c.resources, c.capped, &c.traj, removed)
@@ -854,6 +864,7 @@ func (n *Network) rebalanceComp(c *component, now simkernel.Time, removed *Flow,
 		}
 	}
 	if n.stats != nil {
+		n.stats.SolveLatencyNs.Observe(uint64(time.Since(solveStart)))
 		n.stats.Solves[trig]++
 		n.stats.ComponentFlows.Observe(uint64(len(c.flows)))
 		if removed != nil {
@@ -885,6 +896,7 @@ func (n *Network) rebalanceComp(c *component, now simkernel.Time, removed *Flow,
 			WarmStart:      done,
 			ReplayedPasses: n.sv.lastReplayed,
 			Hierarchical:   hier,
+			Groups:         n.sv.lastGroups,
 		})
 	}
 }

@@ -138,9 +138,12 @@ type solver struct {
 	stats *Stats
 	// lastLive and lastReplayed record the previous solve's cost — live
 	// passes run and recorded passes replayed by a warm start — for the
-	// Network's solve observer.
+	// Network's solve observer; lastGroups records the rack-local group
+	// count when the previous solve took the hierarchical path (0 for flat
+	// and warm-started solves).
 	lastLive     int
 	lastReplayed int
+	lastGroups   int
 }
 
 // capOrder sorts capped flows by cap, tie-broken by the canonical flow

@@ -93,6 +93,49 @@ type Stats struct {
 	// 0; the value never exceeds the SetHierarchical bound. Exported as
 	// the simnet/hier_max_rel_err metric.
 	HierMaxRelErr float64
+	// FlushWaveWidth is the histogram of dirty components per batched-mode
+	// flush — the fan-out width the worker pool sees each wave.
+	FlushWaveWidth obs.Log2Hist
+	// HierGroups is the histogram of rack-local group counts per
+	// hierarchical solve; HierGroupFlows is the histogram of per-group flow
+	// counts (one observation per group per hierarchical solve).
+	HierGroups     obs.Log2Hist
+	HierGroupFlows obs.Log2Hist
+	// SolveLatencyNs is the histogram of wall-clock nanoseconds per
+	// component rebalance. It is the one wall-clock field in this struct:
+	// the glue layer exports it under the runtime/ namespace so
+	// determinism checks filter it, and recording it never feeds back into
+	// simulation numerics.
+	SolveLatencyNs obs.Log2Hist
+}
+
+// merge folds src into st field-wise: counters by addition, histograms by
+// bucket-wise addition, HierMaxRelErr by maximum. Every fold is
+// commutative, so parallel flush workers may merge in any order.
+func (st *Stats) merge(src *Stats) {
+	for t := range src.Solves {
+		st.Solves[t] += src.Solves[t]
+	}
+	st.Passes += src.Passes
+	st.FreezesPerPass.Merge(&src.FreezesPerPass)
+	st.ComponentFlows.Merge(&src.ComponentFlows)
+	st.WarmHits += src.WarmHits
+	st.WarmMisses += src.WarmMisses
+	st.WarmReplayedPasses += src.WarmReplayedPasses
+	st.SolveBatches += src.SolveBatches
+	st.ComponentsDirty += src.ComponentsDirty
+	st.ParallelSolves += src.ParallelSolves
+	st.HierSolves += src.HierSolves
+	st.HierFallbacks += src.HierFallbacks
+	st.HierOuterRounds += src.HierOuterRounds
+	st.HierExactFallbacks += src.HierExactFallbacks
+	if src.HierMaxRelErr > st.HierMaxRelErr {
+		st.HierMaxRelErr = src.HierMaxRelErr
+	}
+	st.FlushWaveWidth.Merge(&src.FlushWaveWidth)
+	st.HierGroups.Merge(&src.HierGroups)
+	st.HierGroupFlows.Merge(&src.HierGroupFlows)
+	st.SolveLatencyNs.Merge(&src.SolveLatencyNs)
 }
 
 // SetStats attaches (or with nil detaches) a solver activity sink.
@@ -113,8 +156,10 @@ type SolveInfo struct {
 	WarmStart      bool
 	ReplayedPasses int
 	// Hierarchical reports whether the solve ran on the partitioned
-	// (rack-local groups + separator coordination) path.
+	// (rack-local groups + separator coordination) path; Groups is the
+	// rack-local group count of that partition (0 for flat solves).
 	Hierarchical bool
+	Groups       int
 }
 
 // ObserveSolves registers a callback invoked after every component
